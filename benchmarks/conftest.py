@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers.
+
+Every bench runs one experiment harness exactly once (they simulate whole
+clusters; repeating them inside pytest-benchmark's calibration loop would
+take hours) and asserts the paper's qualitative shape on the result.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run ``module.run(quick=True)`` once under the benchmark timer."""
+
+    def runner(module, **kwargs):
+        kwargs.setdefault("quick", True)
+        kwargs.setdefault("seed", 0)
+        return benchmark.pedantic(
+            module.run, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

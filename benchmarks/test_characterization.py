@@ -1,0 +1,84 @@
+"""Benches for the characterization experiments (Table I, Figs. 2-7)."""
+
+import numpy as np
+
+from repro.experiments import (
+    fig02_freq_sensitivity,
+    fig03_resource_sensitivity,
+    fig04_input_prediction,
+    fig05_rtc_vs_cs,
+    fig06_switch_overhead,
+    fig07_trace_cdf,
+    table1_benchmarks,
+)
+
+
+def test_table1(run_experiment):
+    result = run_experiment(table1_benchmarks)
+    assert len(result.rows) == 12
+    apps = {row["benchmark"]: row["functions"] for row in result.rows
+            if row["kind"] == "application"}
+    assert apps == {"MLTune": 6, "DataAn": 8, "eBank": 6, "eBook": 7,
+                    "VidAn": 3}
+
+
+def test_fig02_frequency_sensitivity(run_experiment):
+    result = run_experiment(fig02_freq_sensitivity)
+    web = result.row_for(function="WebServ", freq_ghz=1.2)
+    assert web["norm_response_time"] < 1.25   # paper: +12%
+    assert web["norm_energy"] < 0.65          # paper: -47%
+    cnn = result.row_for(function="CNNServ", freq_ghz=2.1)
+    assert 1.1 < cnn["norm_response_time"] < 1.4   # paper: +23%
+    assert cnn["norm_energy"] < 0.75               # paper: -40%
+    # Response time decreases monotonically with frequency for every fn.
+    for fn in {row["function"] for row in result.rows}:
+        times = [row["norm_response_time"] for row in result.rows
+                 if row["function"] == fn]
+        assert times == sorted(times, reverse=True)
+
+
+def test_fig03_resource_insensitivity(run_experiment):
+    result = run_experiment(fig03_resource_sensitivity)
+    four_ways = [row["norm_response_time"] for row in result.rows
+                 if row["knob"] == "llc_ways" and row["setting"] == 4]
+    assert max(four_ways) < 1.10              # paper: at most +6%
+    bw20 = [row["norm_response_time"] for row in result.rows
+            if row["knob"] == "membw" and row["setting"] == 0.2]
+    assert max(bw20) < 1.08                   # paper: at most +4%
+
+
+def test_fig04_input_prediction(run_experiment):
+    result = run_experiment(fig04_input_prediction)
+    average = result.row_for(function="average")
+    assert average["error_selected_pct"] < 10.0   # paper: 3.6%
+    assert average["error_all_pct"] < 12.0        # paper: 3.8%
+    # Training on all features costs little vs selected features.
+    assert (average["error_all_pct"]
+            < average["error_selected_pct"] + 5.0)
+
+
+def test_fig05_context_switch_on_idle(run_experiment):
+    result = run_experiment(fig05_rtc_vs_cs)
+    average = result.row_for(function="average")
+    assert average["norm_energy_cs"] < 0.95   # CS saves energy (paper -42%)
+    # Idle-heavy functions benefit more than compute-bound ones.
+    imgproc = result.row_for(function="ImgProc")["norm_energy_cs"]
+    mltrain = result.row_for(function="MLTrain")["norm_energy_cs"]
+    assert imgproc < mltrain
+
+
+def test_fig06_switch_overhead(run_experiment):
+    result = run_experiment(fig06_switch_overhead)
+    ratios = {row["function"]: row["norm_throughput_switch"]
+              for row in result.rows}
+    assert float(np.mean(list(ratios.values()))) < 0.9  # paper: -24%
+    # The shortest function loses the most throughput.
+    assert ratios["WebServ"] == min(ratios.values())
+
+
+def test_fig07_trace_churn(run_experiment):
+    result = run_experiment(fig07_trace_cdf)
+    one_second = result.row_for(window="1s")
+    assert 1.5 <= one_second["mean"] <= 6.0   # paper: ~3
+    means = [row["mean"] for row in result.rows]
+    assert means == sorted(means)             # larger window, more functions

@@ -1,0 +1,88 @@
+"""Benches for the main evaluation (Figs. 12-18)."""
+
+from repro.experiments import (
+    fig12_energy_trace,
+    fig13_energy_load,
+    fig14_freq_timeline,
+    fig15_freq_distribution,
+    fig16_tail_latency,
+    fig17_throughput,
+    fig18_latency_vs_load,
+)
+
+
+def test_fig12_energy_on_real_trace(run_experiment):
+    result = run_experiment(fig12_energy_trace)
+    total = result.row_for(benchmark="TOTAL(cluster)")
+    # Paper shape: EcoFaaS < PowerCtrl < Baseline on total energy.
+    assert total["norm_EcoFaaS"] < total["norm_Baseline"]
+    assert total["norm_EcoFaaS"] < total["norm_Baseline+PowerCtrl"]
+    active = result.row_for(benchmark="TOTAL(core-active)")
+    assert active["norm_EcoFaaS"] < active["norm_Baseline+PowerCtrl"]
+
+
+def test_fig13_energy_vs_load(run_experiment):
+    result = run_experiment(fig13_energy_load)
+    for level in ("low", "medium", "high"):
+        row = result.row_for(load=level)
+        assert row["norm_EcoFaaS"] < row["norm_Baseline"], level
+        # Within noise, EcoFaaS never loses to PowerCtrl.
+        assert (row["norm_EcoFaaS"]
+                <= row["norm_Baseline+PowerCtrl"] + 0.02), level
+    # Baseline energy grows with load.
+    lows = result.row_for(load="low")["norm_Baseline"]
+    highs = result.row_for(load="high")["norm_Baseline"]
+    assert lows < highs
+
+
+def test_fig14_frequency_timeline(run_experiment):
+    result = run_experiment(fig14_freq_timeline)
+    base = result.row_for(system="Baseline", time_s=-1.0)
+    eco = result.row_for(system="EcoFaaS", time_s=-1.0)
+    assert base["avg_freq_ghz"] == 3.0           # Baseline pinned at max
+    assert eco["avg_freq_ghz"] < 2.8             # EcoFaaS well below
+
+
+def test_fig15_frequency_distribution(run_experiment):
+    result = run_experiment(fig15_freq_distribution)
+    shares = {row["freq_ghz"]: row["share_pct"] for row in result.rows}
+    below_2ghz = shares[1.2] + shares[1.5] + shares[1.8]
+    assert below_2ghz > 40.0          # paper: >50%
+    assert shares[3.0] < 50.0         # far from Baseline's 100% at max
+
+
+def test_fig16_tail_latency(run_experiment):
+    result = run_experiment(fig16_tail_latency)
+    # The paper's headline metric is the cluster-wide tail: EcoFaaS beats
+    # PowerCtrl decisively and stays in Baseline's neighbourhood, with the
+    # contrast strongest under load (the per-benchmark normalized rows are
+    # dominated by short benchmarks' tiny absolute latencies at light
+    # load, where EcoFaaS *deliberately* runs near its deadline).
+    for level in ("medium", "high"):
+        row = result.row_for(benchmark=f"ALL({level})")
+        assert row["norm_EcoFaaS"] < row["norm_Baseline+PowerCtrl"], level
+    high = result.row_for(benchmark="ALL(high)")
+    assert high["norm_EcoFaaS"] < 1.4  # paper: 0.95x Baseline
+
+
+def test_fig17_throughput(run_experiment):
+    result = run_experiment(fig17_throughput)
+    for row in result.rows:
+        # EcoFaaS sustains at least PowerCtrl's load everywhere.
+        assert row["norm_EcoFaaS"] >= row["norm_Baseline+PowerCtrl"], row
+
+
+def test_fig18_cnnserv_latency_curve(run_experiment):
+    result = run_experiment(fig18_latency_vs_load)
+    slo = result.rows[0]["slo_s"]
+
+    def crossing(column):
+        for row in result.rows:
+            value = row[column]
+            if value == "saturated" or value > slo:
+                return row["rate_rps"]
+        return float("inf")
+
+    # PowerCtrl violates the SLO at (or before) the load where
+    # Baseline/EcoFaaS do.
+    assert crossing("p99_Baseline+PowerCtrl") <= crossing("p99_EcoFaaS")

@@ -1,0 +1,137 @@
+"""Microbenchmarks of the library's hot primitives.
+
+Unlike the figure benches (one full cluster simulation each), these use
+pytest-benchmark conventionally: many fast iterations of the kernels that
+dominate simulation wall time.
+"""
+
+import numpy as np
+
+from repro.core.dpt import DelayPowerTable, split_deadlines
+from repro.core.ewma import AdaptiveEwma
+from repro.core.mlp import MLPRegressor
+from repro.core.predictor import FrequencyProfile
+from repro.hardware.core import Core
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.frequency import FrequencyScale
+from repro.hardware.power import PowerModel
+from repro.hardware.work import WorkUnit
+from repro.platform.job import Job
+from repro.platform.scheduler import CorePoolScheduler
+from repro.sim import Environment
+from repro.workloads.applications import Workflow, WorkflowStage
+from repro.workloads.functionbench import CNN_SERV
+from repro.workloads.model import FunctionModel
+from repro.workloads.spec import InvocationSpec, RunSegment
+
+
+def test_event_loop_throughput(benchmark):
+    """Events processed per loop pass (the simulator's base cost)."""
+
+    def run_loop():
+        env = Environment()
+        for i in range(1000):
+            env.timeout(float(i) * 1e-3)
+        env.run()
+        return env.now
+
+    assert benchmark(run_loop) > 0
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process resume cost."""
+
+    def run_processes():
+        env = Environment()
+
+        def ping():
+            for _ in range(100):
+                yield env.timeout(0.001)
+
+        for _ in range(10):
+            env.process(ping())
+        env.run()
+        return env.now
+
+    benchmark(run_processes)
+
+
+def test_scheduler_dispatch_throughput(benchmark):
+    """Submit+run 500 short jobs through one pool."""
+
+    def run_pool():
+        env = Environment()
+        meter = EnergyMeter()
+        power = PowerModel()
+        cores = [Core(env, i, power, meter, 3.0) for i in range(4)]
+        pool = CorePoolScheduler(env, cores, frequency_ghz=3.0)
+        for _ in range(500):
+            spec = InvocationSpec("f", [RunSegment(WorkUnit(0.003))])
+            pool.submit(Job(env, spec, "b", arrival_s=env.now))
+        env.run()
+        return pool.stats.served
+
+    assert benchmark(run_pool) == 500
+
+
+def test_invocation_sampling(benchmark):
+    rng = np.random.default_rng(0)
+    spec = benchmark(lambda: CNN_SERV.sample_invocation(rng))
+    assert spec.function_name == "CNNServ"
+
+
+def test_mlp_prediction_latency(benchmark):
+    model = MLPRegressor(8, seed=0)
+    model.partial_fit([[1.0] * 8] * 16, [1.0] * 16)
+    row = [1.0] * 8
+    value = benchmark(model.predict_one, row)
+    assert value > 0
+
+
+def test_mlp_training_step(benchmark):
+    model = MLPRegressor(8, seed=0)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(1, 5, size=(32, 8))
+    y = x[:, 0]
+    benchmark(model.partial_fit, x, y)
+
+
+def test_ewma_update(benchmark):
+    ewma = AdaptiveEwma()
+    ewma.update(1.0)
+
+    def update_forecast():
+        ewma.update(1.1)
+        return ewma.forecast()
+
+    benchmark(update_forecast)
+
+
+def test_profile_prediction(benchmark):
+    profile = FrequencyProfile(FrequencyScale(), PowerModel())
+    for freq in (3.0, 2.1, 1.2):
+        for _ in range(10):
+            profile.observe(freq, 0.2 * 3.0 / freq, 0.05, 1.0)
+    value = benchmark(profile.predict_t_run, 1.8)
+    assert value > 0
+
+
+def test_milp_deadline_split(benchmark):
+    """The Workflow Controller's solver (paper: ~10ms)."""
+    scale = FrequencyScale()
+    power = PowerModel()
+    functions = tuple(
+        FunctionModel(name=f"f{i}", run_seconds_at_max=0.02 * (i + 1),
+                      compute_fraction=0.6, block_seconds=0.0, n_blocks=0,
+                      cold_start_seconds=0.1)
+        for i in range(6))
+    workflow = Workflow("bench", tuple(
+        WorkflowStage((fn,)) for fn in functions))
+    dpt = DelayPowerTable(scale)
+    for fn in functions:
+        for level in scale:
+            t = fn.run_seconds(level)
+            dpt.update(fn.name, level, t, t * power.core_active_power(level))
+    slo = 1.5 * workflow.warm_latency(scale.min)
+    split = benchmark(split_deadlines, workflow, slo, dpt)
+    assert split.feasible

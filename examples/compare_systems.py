@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare Baseline, Baseline+PowerCtrl, and EcoFaaS head to head.
+
+Replays the same Azure-like production trace (the paper's Section VIII-A
+workload) on all three systems and prints the energy / latency /
+SLO-compliance comparison — a miniature of Figs. 12 and 16.
+
+Run with::
+
+    python examples/compare_systems.py [--duration 60] [--servers 5]
+"""
+
+import argparse
+
+from repro.baselines import BaselineSystem, PowerCtrlSystem
+from repro.core import EcoFaaSSystem
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+from repro.traces.azure import (
+    AzureTraceConfig,
+    generate_azure_trace,
+    map_to_benchmarks,
+)
+from repro.workloads.registry import benchmark_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--servers", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    raw = generate_azure_trace(
+        AzureTraceConfig.evaluation(duration_s=args.duration,
+                                    seed=args.seed))
+    trace = map_to_benchmarks(raw, benchmark_names())
+    print(f"trace: {len(trace)} invocations, {trace.mean_rate_rps:.0f} RPS,"
+          f" {args.servers} servers\n")
+
+    systems = [BaselineSystem(), PowerCtrlSystem(), EcoFaaSSystem()]
+    rows = []
+    for system in systems:
+        env = Environment()
+        cluster = Cluster(env, system,
+                          ClusterConfig(n_servers=args.servers,
+                                        seed=args.seed, drain_s=20.0))
+        cluster.run_trace(trace)
+        metrics = cluster.metrics
+        rows.append((system.name,
+                     cluster.total_energy_j / 1000,
+                     metrics.latency_avg() * 1000,
+                     metrics.latency_p99() * 1000,
+                     100 * metrics.slo_violation_rate()))
+
+    header = f"{'system':22s} {'energy kJ':>10s} {'avg ms':>8s}" \
+             f" {'p99 ms':>8s} {'SLO miss %':>11s}"
+    print(header)
+    print("-" * len(header))
+    base_energy = rows[0][1]
+    for name, energy, avg, p99, miss in rows:
+        print(f"{name:22s} {energy:10.2f} {avg:8.1f} {p99:8.1f}"
+              f" {miss:11.1f}   ({energy / base_energy:.2f}x baseline"
+              f" energy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: run one serverless benchmark under EcoFaaS.
+
+Builds a 2-server cluster, drives 30 seconds of Poisson CNNServ traffic
+through the EcoFaaS system, and prints the latency / SLO / energy summary
+along with the per-invocation frequency choices EcoFaaS made.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import EcoFaaSSystem
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
+from repro.workloads.registry import workflow_for
+
+
+def main() -> None:
+    benchmark = "CNNServ"
+    workflow = workflow_for(benchmark)
+    print(f"benchmark: {benchmark}")
+    print(f"  warm latency @3.0GHz: {workflow.warm_latency(3.0) * 1000:.1f} ms")
+    print(f"  SLO (5x warm):        {workflow.slo_seconds() * 1000:.1f} ms")
+
+    trace = generate_poisson_trace(PoissonLoadConfig(
+        benchmarks=[benchmark], rate_rps=40.0, duration_s=30.0, seed=1))
+    print(f"trace: {len(trace)} requests over {trace.duration_s:.0f} s")
+
+    env = Environment()
+    cluster = Cluster(env, EcoFaaSSystem(),
+                      ClusterConfig(n_servers=2, seed=0, drain_s=15.0))
+    cluster.run_trace(trace)
+
+    metrics = cluster.metrics
+    print("\nresults:")
+    print(f"  completed workflows: {metrics.completed_workflows()}")
+    print(f"  avg latency:  {metrics.latency_avg() * 1000:.1f} ms")
+    print(f"  p99 latency:  {metrics.latency_p99() * 1000:.1f} ms")
+    print(f"  SLO misses:   {100 * metrics.slo_violation_rate():.1f} %")
+    print(f"  total energy: {cluster.total_energy_j / 1000:.2f} kJ")
+
+    print("\nchosen core frequencies (invocations):")
+    for freq, count in sorted(metrics.frequency_histogram().items()):
+        print(f"  {freq:.1f} GHz: {count}")
+
+    print("\nenergy by component (J):")
+    for component, joules in cluster.energy_by_component().items():
+        print(f"  {component:14s} {joules:10.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Explore the synthetic Azure-like traces (the Fig. 7 characterization).
+
+Generates a production-pattern trace, prints the churn statistics the
+paper quotes (distinct functions per window, burstiness, popularity
+skew), and renders the request-rate timeline as a terminal sparkline.
+
+Run with::
+
+    python examples/trace_analysis.py
+"""
+
+import numpy as np
+
+from repro import reports
+from repro.traces.azure import (
+    AzureTraceConfig,
+    generate_azure_trace,
+    map_to_benchmarks,
+)
+from repro.workloads.registry import benchmark_names
+
+
+def main() -> None:
+    config = AzureTraceConfig.evaluation(duration_s=300.0, seed=0)
+    trace = generate_azure_trace(config)
+    print(f"trace: {len(trace)} invocations of {config.n_functions}"
+          f" functions over {config.duration_s:.0f} s"
+          f" ({trace.mean_rate_rps:.0f} RPS)\n")
+
+    print("distinct functions per window (the Fig. 7 churn):")
+    for label, window in (("1s", 1.0), ("10s", 10.0), ("1min", 60.0)):
+        counts = np.array(trace.distinct_per_window(window))
+        print(f"  {label:>4s}: mean {counts.mean():6.1f}   p99"
+              f" {np.percentile(counts, 99):6.0f}   max {counts.max():4d}")
+
+    counts = np.array(trace.count_per_window(1.0))
+    print(f"\nburstiness: index of dispersion (var/mean of 1s counts) ="
+          f" {counts.var() / counts.mean():.1f}  (Poisson would be 1.0)")
+    print("request rate over time (1s buckets):")
+    samples = [(float(i), float(c)) for i, c in enumerate(counts)]
+    print("  " + reports.timeline(samples, width=70))
+
+    popular = trace.benchmarks()[:12]
+    share = sum(trace.invocation_counts()[fn] for fn in popular) / len(trace)
+    print(f"\ntop-12 functions carry {100 * share:.0f}% of invocations"
+          f" (paper: 76%)")
+
+    mapped = map_to_benchmarks(trace, benchmark_names())
+    print("\nafter mapping the top-12 to the evaluated benchmarks:")
+    chart = {name: float(count)
+             for name, count in sorted(mapped.invocation_counts().items(),
+                                       key=lambda kv: -kv[1])}
+    print(reports.bar_chart(chart, width=40))
+
+
+if __name__ == "__main__":
+    main()

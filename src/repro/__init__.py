@@ -1,0 +1,36 @@
+"""EcoFaaS reproduction: SLO-driven energy management for serverless.
+
+A from-scratch Python implementation of *EcoFaaS: Rethinking the Design of
+Serverless Environments for Energy Efficiency* (ISCA 2024), including the
+full simulated substrate it needs:
+
+* :mod:`repro.sim` — a deterministic discrete-event kernel;
+* :mod:`repro.hardware` — DVFS-capable servers with an analytic power
+  model and energy metering;
+* :mod:`repro.workloads` — the twelve evaluated benchmarks as calibrated
+  analytic models;
+* :mod:`repro.traces` — Azure-like bursty traces and Poisson load;
+* :mod:`repro.platform` — the serverless platform (containers, cold
+  starts, schedulers, workflow engine, metrics);
+* :mod:`repro.core` — EcoFaaS itself (Workflow Controller, Delay-Power
+  Table + MILP, dispatchers, elastic Core Pools, predictors);
+* :mod:`repro.baselines` — MXFaaS ("Baseline") and a Gemini-style DVFS
+  layer ("Baseline+PowerCtrl");
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    from repro.core import EcoFaaSSystem
+    from repro.platform.cluster import Cluster, ClusterConfig
+    from repro.sim import Environment
+    from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
+
+    env = Environment()
+    cluster = Cluster(env, EcoFaaSSystem(), ClusterConfig(n_servers=5))
+    trace = generate_poisson_trace(
+        PoissonLoadConfig(["CNNServ"], rate_rps=50, duration_s=60))
+    cluster.run_trace(trace)
+    print(cluster.total_energy_j, cluster.metrics.latency_p99())
+"""
+
+__version__ = "1.0.0"

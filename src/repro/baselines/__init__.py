@@ -1,0 +1,23 @@
+"""The two comparison systems of the evaluation (Section VII).
+
+* :class:`~repro.baselines.mxfaas.BaselineSystem` — the state-of-the-art
+  MXFaaS platform: each function container owns a set of cores, invocations
+  of a function run only on its own cores (context-switch-on-idle within
+  the function), and every core runs at the highest frequency.
+* :class:`~repro.baselines.powerctrl.PowerCtrlSystem` — Baseline plus a
+  Gemini-style energy-management layer: per-invocation frequency selection
+  with 100 %-accurate (oracle) execution-time prediction, a
+  run-to-completion execution model, proportional SLO splitting, and
+  sandboxed-userspace frequency-switch costs.
+"""
+
+from repro.baselines.mxfaas import BaselineSystem
+from repro.baselines.partitioned import PartitionedNode
+from repro.baselines.powerctrl import PowerCtrlSystem, proportional_deadlines
+
+__all__ = [
+    "BaselineSystem",
+    "PartitionedNode",
+    "PowerCtrlSystem",
+    "proportional_deadlines",
+]

@@ -1,0 +1,95 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig15
+    python -m repro fig13 --full --seed 7
+    python -m repro all            # every experiment, quick mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+
+
+def _chart(key: str, result) -> None:
+    """Terminal graphics for the figures where shape beats digits."""
+    from repro import reports
+    if key == "fig15":
+        shares = {f"{row['freq_ghz']:.1f}GHz": float(row["share_pct"])
+                  for row in result.rows}
+        print(reports.bar_chart(shares, unit="%"))
+    elif key == "fig14":
+        for system in ("Baseline", "EcoFaaS"):
+            samples = [(float(row["time_s"]), float(row["avg_freq_ghz"]))
+                       for row in result.rows
+                       if row["system"] == system and row["time_s"] >= 0]
+            if samples:
+                print(reports.timeline(samples, label=f"{system:8s}"))
+    elif key in ("fig12", "fig13", "fig16", "fig17"):
+        value_columns = [c for c in result.rows[0] if c.startswith("norm_")]
+        key_column = next(iter(result.rows[0]))
+        print(reports.comparison_table(result.rows, key_column,
+                                       value_columns))
+    print()
+
+
+def _run_one(key: str, quick: bool, seed: int, chart: bool = False) -> None:
+    module = importlib.import_module(EXPERIMENTS[key])
+    start = time.perf_counter()
+    result = module.run(quick=quick, seed=seed)
+    elapsed = time.perf_counter() - start
+    print(result.format_table())
+    if chart:
+        _chart(key, result)
+    print(f"[{key} completed in {elapsed:.1f}s]")
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ecofaas",
+        description="EcoFaaS reproduction: regenerate the paper's tables"
+                    " and figures as text tables.")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'list', or 'all'")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run at closer-to-paper scale (much slower)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render ASCII charts where applicable")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for key, module_name in EXPERIMENTS.items():
+            print(f"  {key:10s} {module_name}")
+        return 0
+
+    if args.experiment == "all":
+        for key in EXPERIMENTS:
+            _run_one(key, quick=not args.full, seed=args.seed,
+                     chart=args.chart)
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r};"
+              f" try 'list'", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, quick=not args.full, seed=args.seed,
+             chart=args.chart)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

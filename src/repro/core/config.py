@@ -1,0 +1,71 @@
+"""EcoFaaS tunables (defaults are the paper's chosen operating points)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EcoFaaSConfig:
+    """Configuration of the EcoFaaS framework.
+
+    Defaults follow Section VII: History Tables keep the last 100
+    invocations, the Delay-Power Table refreshes every 5 s, Core Pools
+    every 2 s; node-controller frequency changes go through MSRs in a few
+    tens of µs.
+    """
+
+    #: Workflow Controller deadline-recomputation period (Fig. 20 knob).
+    t_update_s: float = 5.0
+    #: Core-pool resize/retune period (Fig. 20 knob).
+    t_refresh_s: float = 2.0
+    #: History Table capacity.
+    history_capacity: int = 100
+    #: Cost of a root/MSR frequency change (Section VIII-D).
+    kernel_switch_cost_s: float = 50e-6
+    #: Process context-switch cost inside a pool.
+    context_switch_s: float = 5e-6
+    #: Use the input-aware MLP predictor (else EWMA only).
+    use_input_model: bool = True
+    #: Prewarm cold containers off the critical path (Section VI-E1).
+    prewarm: bool = True
+    #: Maximum concurrent core pools (Fig. 21 guardrail).
+    max_pools: int = 8
+    #: Observations before a function's predictions are trusted.
+    min_profile_observations: int = 3
+    #: Bounded execution-time overprediction injected into the predictor
+    #: (the Fig. 19 sensitivity knob); 0.2 means +20 %.
+    overprediction_error: float = 0.0
+    #: Ablation: freeze pool assignment (no elastic refresh).
+    elastic: bool = True
+    #: Ablation: run-to-completion inside pools instead of
+    #: context-switch-on-idle.
+    run_to_completion: bool = False
+    #: Ablation: disable the MILP split (fall back to proportional).
+    use_milp: bool = True
+    #: Pool demand fraction below which a pool is boosted one level when
+    #: its jobs frequently needed temporary boosts.
+    boost_promote_fraction: float = 0.10
+    #: Fraction of the remaining deadline the dispatcher plans against
+    #: (headroom for queueing mispredictions; corrective actions use the
+    #: rest). 0.7 is the measured sweet spot: tail latency drops sharply
+    #: with no energy cost.
+    deadline_margin: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0 < self.deadline_margin <= 1:
+            raise ValueError("deadline_margin must be in (0, 1]")
+        if self.t_update_s <= 0 or self.t_refresh_s <= 0:
+            raise ValueError("update/refresh periods must be positive")
+        if self.history_capacity < 1:
+            raise ValueError("history capacity must be >= 1")
+        if self.kernel_switch_cost_s < 0 or self.context_switch_s < 0:
+            raise ValueError("switch costs must be non-negative")
+        if self.max_pools < 1:
+            raise ValueError("need at least one pool")
+        if self.min_profile_observations < 1:
+            raise ValueError("min_profile_observations must be >= 1")
+        if self.overprediction_error < 0:
+            raise ValueError("overprediction error must be non-negative")
+        if not 0 <= self.boost_promote_fraction <= 1:
+            raise ValueError("boost_promote_fraction must be in [0, 1]")

@@ -1,0 +1,217 @@
+"""The Delay-Power Table and SLO → per-function deadline splitting.
+
+Section VI-A: the Workflow Controller keeps, per application, a table with
+the predicted execution time ``t_fj^Fi = T_Run + T_Block + T_Queue`` and
+energy ``E_fj^Fi`` of each function at each frequency, and solves
+
+    minimise   Σ E_fj^Fi
+    subject to Σ t_fj^Fi <= SLO,   one frequency per function,
+
+where parallel children of a stage contribute the *slowest* member's time
+(Fig. 9's structure). That max() is linearised with one continuous
+stage-time variable per stage, keeping the program a true MILP.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.milp import MilpProblem, solve_milp
+from repro.hardware.frequency import FrequencyScale
+from repro.workloads.applications import Workflow
+
+
+class DelayPowerTable:
+    """Per-application (function, frequency) → (time, energy) predictions."""
+
+    def __init__(self, scale: FrequencyScale):
+        self.scale = scale
+        self._entries: Dict[Tuple[str, float], Tuple[float, float]] = {}
+
+    def update(self, function_name: str, freq_ghz: float,
+               time_s: float, energy_j: float) -> None:
+        """Insert or refresh one entry."""
+        if freq_ghz not in self.scale:
+            raise ValueError(
+                f"{freq_ghz} GHz is not a level of {self.scale.levels}")
+        if time_s < 0 or energy_j < 0:
+            raise ValueError("time and energy must be non-negative")
+        self._entries[(function_name, freq_ghz)] = (time_s, energy_j)
+
+    def entry(self, function_name: str,
+              freq_ghz: float) -> Optional[Tuple[float, float]]:
+        return self._entries.get((function_name, freq_ghz))
+
+    def has_function(self, function_name: str) -> bool:
+        """True when every frequency level is populated for the function."""
+        return all((function_name, f) in self._entries for f in self.scale)
+
+    def times(self, function_name: str) -> Dict[float, float]:
+        return {f: self._entries[(function_name, f)][0]
+                for f in self.scale if (function_name, f) in self._entries}
+
+    def energies(self, function_name: str) -> Dict[float, float]:
+        return {f: self._entries[(function_name, f)][1]
+                for f in self.scale if (function_name, f) in self._entries}
+
+
+@dataclass(frozen=True)
+class DeadlineSplit:
+    """The result of splitting an SLO across a workflow."""
+
+    #: Chosen frequency per function (the tick marks of Fig. 9).
+    frequencies: Dict[str, float]
+    #: Time budget per stage, seconds.
+    stage_budgets: List[float]
+    #: Predicted total energy of the plan, joules.
+    energy_j: float
+    #: Whether the plan fits inside the SLO.
+    feasible: bool
+
+    def function_deadlines(self, workflow: Workflow,
+                           arrival_s: float) -> Dict[str, float]:
+        """Absolute per-function deadlines (cumulative stage budgets)."""
+        deadlines: Dict[str, float] = {}
+        elapsed = arrival_s
+        for stage, budget in zip(workflow.stages, self.stage_budgets):
+            elapsed += budget
+            for fn in stage.functions:
+                deadlines[fn.name] = elapsed
+        return deadlines
+
+
+def split_deadlines(workflow: Workflow, slo_s: float,
+                    dpt: DelayPowerTable) -> DeadlineSplit:
+    """Minimise total energy under the SLO via MILP (Section VI-A).
+
+    Requires a fully populated DPT for every function of the workflow.
+    When even the all-max-frequency plan misses the SLO the problem is
+    infeasible; the returned split then uses the fastest plan and marks
+    ``feasible=False`` (the system will boost at run time).
+    """
+    if slo_s <= 0:
+        raise ValueError(f"SLO must be positive: {slo_s}")
+    for fn in workflow.functions:
+        if not dpt.has_function(fn.name):
+            raise KeyError(f"DPT is missing entries for {fn.name!r}")
+
+    levels = list(dpt.scale)
+    functions = workflow.functions
+    n_stages = len(workflow.stages)
+    n_x = len(functions) * len(levels)
+    n_vars = n_x + n_stages
+
+    def x_index(fn_idx: int, level_idx: int) -> int:
+        return fn_idx * len(levels) + level_idx
+
+    c = np.zeros(n_vars)
+    for i, fn in enumerate(functions):
+        energies = dpt.energies(fn.name)
+        for j, level in enumerate(levels):
+            c[x_index(i, j)] = energies[level]
+    # Stage-time variables carry no direct cost.
+
+    # One frequency per function.
+    a_eq = np.zeros((len(functions), n_vars))
+    for i in range(len(functions)):
+        for j in range(len(levels)):
+            a_eq[i, x_index(i, j)] = 1.0
+    b_eq = np.ones(len(functions))
+
+    # Member time <= stage time, and Σ stage times <= SLO.
+    rows = []
+    rhs = []
+    fn_stage = {fn.name: workflow.stage_of(fn.name) for fn in functions}
+    for i, fn in enumerate(functions):
+        row = np.zeros(n_vars)
+        times = dpt.times(fn.name)
+        for j, level in enumerate(levels):
+            row[x_index(i, j)] = times[level]
+        row[n_x + fn_stage[fn.name]] = -1.0
+        rows.append(row)
+        rhs.append(0.0)
+    slo_row = np.zeros(n_vars)
+    slo_row[n_x:] = 1.0
+    rows.append(slo_row)
+    rhs.append(slo_s)
+
+    bounds = [(0.0, 1.0)] * n_x + [(0.0, slo_s)] * n_stages
+    integer_mask = np.array([True] * n_x + [False] * n_stages)
+    problem = MilpProblem(c=c, integer_mask=integer_mask,
+                          a_ub=np.array(rows), b_ub=np.array(rhs),
+                          a_eq=a_eq, b_eq=b_eq, bounds=bounds)
+    solution = solve_milp(problem)
+
+    if not solution.ok:
+        return _fastest_plan(workflow, dpt, slo_s)
+
+    frequencies: Dict[str, float] = {}
+    for i, fn in enumerate(functions):
+        for j, level in enumerate(levels):
+            if solution.x[x_index(i, j)] > 0.5:
+                frequencies[fn.name] = level
+                break
+    # Stage budgets from the chosen plan (tight maxima, not the LP's slack
+    # variables, which may be loose when the SLO constraint is inactive).
+    budgets = []
+    for stage in workflow.stages:
+        budgets.append(max(
+            dpt.times(fn.name)[frequencies[fn.name]]
+            for fn in stage.functions))
+    # Distribute leftover SLO slack proportionally: the paper's deadlines
+    # consume the whole SLO budget (Fig. 10's t_B is a full allocation).
+    total = sum(budgets)
+    if 0 < total < slo_s:
+        scale_up = slo_s / total
+        budgets = [b * scale_up for b in budgets]
+    return DeadlineSplit(frequencies=frequencies, stage_budgets=budgets,
+                         energy_j=float(solution.objective), feasible=True)
+
+
+def _fastest_plan(workflow: Workflow, dpt: DelayPowerTable,
+                  slo_s: float) -> DeadlineSplit:
+    """All functions at the top frequency (the infeasible-SLO fallback)."""
+    top = dpt.scale.max
+    frequencies = {fn.name: top for fn in workflow.functions}
+    budgets = [max(dpt.times(fn.name)[top] for fn in stage.functions)
+               for stage in workflow.stages]
+    energy = sum(dpt.energies(fn.name)[top] for fn in workflow.functions)
+    return DeadlineSplit(frequencies=frequencies, stage_budgets=budgets,
+                         energy_j=energy, feasible=False)
+
+
+def split_deadlines_exhaustive(workflow: Workflow, slo_s: float,
+                               dpt: DelayPowerTable,
+                               max_combinations: int = 2_000_000
+                               ) -> DeadlineSplit:
+    """Exact enumeration over all frequency assignments (cross-check).
+
+    Exponential in the function count — use only for small workflows (the
+    test-suite verifies the MILP against this).
+    """
+    levels = list(dpt.scale)
+    functions = workflow.functions
+    n_combos = len(levels) ** len(functions)
+    if n_combos > max_combinations:
+        raise ValueError(
+            f"{n_combos} combinations exceed the cap {max_combinations}")
+    best: Optional[DeadlineSplit] = None
+    for combo in itertools.product(levels, repeat=len(functions)):
+        frequencies = {fn.name: freq
+                       for fn, freq in zip(functions, combo)}
+        budgets = [max(dpt.times(fn.name)[frequencies[fn.name]]
+                       for fn in stage.functions)
+                   for stage in workflow.stages]
+        if sum(budgets) > slo_s + 1e-9:
+            continue
+        energy = sum(dpt.energies(fn.name)[frequencies[fn.name]]
+                     for fn in functions)
+        if best is None or energy < best.energy_j:
+            best = DeadlineSplit(frequencies, budgets, energy, True)
+    if best is None:
+        return _fastest_plan(workflow, dpt, slo_s)
+    return best

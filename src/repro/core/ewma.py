@@ -1,0 +1,85 @@
+"""Exponentially weighted moving averages with adaptive smoothing.
+
+Section VI-B: "EWMA assigns higher weights to more recent measurements, and
+uses adaptive smoothing with the Holt-Winters method to dynamically adjust
+a parameter α based on the changes in the system state."
+
+We implement Holt's linear (level + trend) smoothing with the Trigg-Leach
+tracking signal: α follows ``|smoothed error| / smoothed |error|``, so the
+filter reacts quickly to regime changes and settles when the signal is
+stable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AdaptiveEwma:
+    """Holt linear smoothing with a Trigg-Leach adaptive level gain."""
+
+    def __init__(self, alpha: float = 0.2, beta: float = 0.02,
+                 tracking_gamma: float = 0.2,
+                 alpha_bounds: tuple = (0.05, 0.5)):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        if not 0 <= beta <= 1:
+            raise ValueError(f"beta must be in [0, 1]: {beta}")
+        if not 0 < tracking_gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1]: {tracking_gamma}")
+        lo, hi = alpha_bounds
+        if not 0 < lo <= hi <= 1:
+            raise ValueError(f"bad alpha bounds {alpha_bounds}")
+        self.alpha = alpha
+        self.beta = beta
+        self.tracking_gamma = tracking_gamma
+        self.alpha_bounds = (lo, hi)
+        self._level: Optional[float] = None
+        self._trend = 0.0
+        self._smoothed_error = 0.0
+        self._smoothed_abs_error = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of observations absorbed."""
+        return self._count
+
+    @property
+    def initialized(self) -> bool:
+        return self._level is not None
+
+    def update(self, value: float) -> None:
+        """Absorb one observation."""
+        self._count += 1
+        if self._level is None:
+            self._level = float(value)
+            return
+        error = value - self.forecast()
+        gamma = self.tracking_gamma
+        self._smoothed_error = (gamma * error
+                                + (1 - gamma) * self._smoothed_error)
+        self._smoothed_abs_error = (gamma * abs(error)
+                                    + (1 - gamma) * self._smoothed_abs_error)
+        if self._smoothed_abs_error > 1e-12:
+            # Trigg-Leach: gain tracks the bias of recent errors.
+            signal = abs(self._smoothed_error) / self._smoothed_abs_error
+            lo, hi = self.alpha_bounds
+            self.alpha = min(hi, max(lo, signal))
+        previous_level = self._level
+        self._level = (self.alpha * value
+                       + (1 - self.alpha) * (self._level + self._trend))
+        self._trend = (self.beta * (self._level - previous_level)
+                       + (1 - self.beta) * self._trend)
+
+    def forecast(self) -> float:
+        """One-step-ahead forecast."""
+        if self._level is None:
+            raise RuntimeError("no observations yet")
+        return self._level + self._trend
+
+    def forecast_or(self, default: float) -> float:
+        """Forecast, or ``default`` before the first observation."""
+        if self._level is None:
+            return default
+        return self.forecast()

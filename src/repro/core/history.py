@@ -1,0 +1,104 @@
+"""The per-function History Table (Fig. 11).
+
+Stores the most recent executions of a function: ``T_Run`` and ``Energy``
+per frequency (they depend on the core clock), ``T_Block`` globally (it
+does not), and — for the input-aware predictor — the invocation's input
+features. The table is bounded (the paper keeps the last 100 invocations)
+and is saved/restored with the function's context across unload/reload, so
+a reloaded function does not start cold (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Paper's configuration: keep the last 100 invocations.
+DEFAULT_CAPACITY = 100
+
+
+@dataclass(frozen=True)
+class HistoryRow:
+    """One measured invocation."""
+
+    freq_ghz: float
+    t_run_s: float
+    t_block_s: float
+    energy_j: float
+    features: Dict[str, float]
+
+
+class HistoryTable:
+    """Bounded per-function execution history."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._rows: Deque[HistoryRow] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[HistoryRow]:
+        return list(self._rows)
+
+    def record(self, freq_ghz: float, t_run_s: float, t_block_s: float,
+               energy_j: float,
+               features: Optional[Dict[str, float]] = None) -> None:
+        """Append one measured execution."""
+        if freq_ghz <= 0:
+            raise ValueError(f"frequency must be positive: {freq_ghz}")
+        if min(t_run_s, t_block_s, energy_j) < 0:
+            raise ValueError("measurements must be non-negative")
+        self._rows.append(HistoryRow(
+            freq_ghz, t_run_s, t_block_s, energy_j,
+            dict(features or {})))
+
+    # ------------------------------------------------------------------
+    # Views the predictors consume
+    # ------------------------------------------------------------------
+    def runs_by_frequency(self) -> Dict[float, List[float]]:
+        """T_Run samples grouped by the frequency they ran at."""
+        grouped: Dict[float, List[float]] = {}
+        for row in self._rows:
+            grouped.setdefault(row.freq_ghz, []).append(row.t_run_s)
+        return grouped
+
+    def energy_by_frequency(self) -> Dict[float, List[float]]:
+        grouped: Dict[float, List[float]] = {}
+        for row in self._rows:
+            grouped.setdefault(row.freq_ghz, []).append(row.energy_j)
+        return grouped
+
+    def block_samples(self) -> List[float]:
+        """T_Block samples (frequency-independent, Fig. 11)."""
+        return [row.t_block_s for row in self._rows]
+
+    def feature_rows(self) -> List[Tuple[Dict[str, float], float, float]]:
+        """(features, t_run at fmax-equivalent, t_block) training triples.
+
+        T_Run is normalised to the row's frequency by assuming full
+        compute scaling — adequate as a training target because the model
+        learns relative input effects, not absolute frequency behaviour.
+        """
+        return [(row.features, row.t_run_s * row.freq_ghz, row.t_block_s)
+                for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Context save/restore (unload-survival, Section VI-B)
+    # ------------------------------------------------------------------
+    def save(self) -> List[HistoryRow]:
+        """Serialise for the function's saved context."""
+        return list(self._rows)
+
+    @classmethod
+    def restore(cls, saved: List[HistoryRow],
+                capacity: int = DEFAULT_CAPACITY) -> "HistoryTable":
+        """Rebuild a table from a saved context."""
+        table = cls(capacity)
+        for row in saved:
+            table._rows.append(row)
+        return table

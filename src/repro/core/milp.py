@@ -1,0 +1,136 @@
+"""Mixed-Integer Linear Programming by branch and bound.
+
+The Workflow Controller uses MILP to pick per-function frequencies that
+minimise total energy subject to the end-to-end SLO (Section VI-A; the
+paper uses PuLP). We implement the solver ourselves: LP relaxations via
+``scipy.optimize.linprog`` (HiGHS) inside a best-first branch-and-bound on
+the fractional integer variables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+#: Integrality tolerance.
+_INT_TOL = 1e-6
+
+
+@dataclass
+class MilpProblem:
+    """minimise ``c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x = b_eq``.
+
+    ``integer_mask[i]`` marks variable *i* as integral; the rest are
+    continuous. ``bounds`` are per-variable ``(lo, hi)`` pairs.
+    """
+
+    c: np.ndarray
+    integer_mask: np.ndarray
+    a_ub: Optional[np.ndarray] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[np.ndarray] = None
+    b_eq: Optional[np.ndarray] = None
+    bounds: Optional[List[Tuple[float, float]]] = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float)
+        self.integer_mask = np.asarray(self.integer_mask, dtype=bool)
+        if self.c.ndim != 1:
+            raise ValueError("c must be a vector")
+        if self.integer_mask.shape != self.c.shape:
+            raise ValueError("integer_mask must align with c")
+        if self.bounds is None:
+            self.bounds = [(0.0, None)] * len(self.c)
+        if len(self.bounds) != len(self.c):
+            raise ValueError("bounds must align with c")
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.c)
+
+
+@dataclass
+class MilpSolution:
+    """Solver outcome."""
+
+    status: str  # "optimal" | "infeasible"
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    nodes_explored: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+
+def _solve_relaxation(problem: MilpProblem,
+                      bounds: Sequence[Tuple[float, Optional[float]]]):
+    result = linprog(problem.c, A_ub=problem.a_ub, b_ub=problem.b_ub,
+                     A_eq=problem.a_eq, b_eq=problem.b_eq,
+                     bounds=list(bounds), method="highs")
+    if not result.success:
+        return None
+    return result
+
+
+def solve_milp(problem: MilpProblem, max_nodes: int = 20_000) -> MilpSolution:
+    """Best-first branch and bound. Exact for feasible bounded problems."""
+    counter = itertools.count()
+    root_bounds = tuple(problem.bounds)
+    root = _solve_relaxation(problem, root_bounds)
+    if root is None:
+        return MilpSolution(status="infeasible")
+    # Heap of (lp objective, tiebreak, bounds) — expand cheapest bound first.
+    frontier = [(root.fun, next(counter), root_bounds, root)]
+    best_x: Optional[np.ndarray] = None
+    best_obj = np.inf
+    explored = 0
+
+    while frontier and explored < max_nodes:
+        lower_bound, _, bounds, relaxed = heapq.heappop(frontier)
+        if lower_bound >= best_obj - 1e-9:
+            continue  # cannot improve on the incumbent
+        explored += 1
+        x = relaxed.x
+        fractional = [
+            i for i in np.nonzero(problem.integer_mask)[0]
+            if abs(x[i] - round(x[i])) > _INT_TOL
+        ]
+        if not fractional:
+            if relaxed.fun < best_obj:
+                best_obj = relaxed.fun
+                best_x = x.copy()
+            continue
+        # Branch on the most fractional variable.
+        branch_var = max(fractional, key=lambda i: abs(x[i] - round(x[i]))
+                         and min(x[i] - np.floor(x[i]),
+                                 np.ceil(x[i]) - x[i]))
+        value = x[branch_var]
+        lo, hi = bounds[branch_var]
+        for new_lo, new_hi in (
+                (lo, float(np.floor(value))),
+                (float(np.ceil(value)), hi)):
+            if new_hi is not None and new_lo is not None and new_lo > new_hi:
+                continue
+            child_bounds = list(bounds)
+            child_bounds[branch_var] = (new_lo, new_hi)
+            child = _solve_relaxation(problem, child_bounds)
+            if child is None or child.fun >= best_obj - 1e-9:
+                continue
+            heapq.heappush(frontier,
+                           (child.fun, next(counter),
+                            tuple(child_bounds), child))
+
+    if best_x is None:
+        return MilpSolution(status="infeasible", nodes_explored=explored)
+    # Snap integers exactly.
+    best_x = best_x.copy()
+    for i in np.nonzero(problem.integer_mask)[0]:
+        best_x[i] = round(best_x[i])
+    return MilpSolution(status="optimal", x=best_x,
+                        objective=float(best_obj), nodes_explored=explored)

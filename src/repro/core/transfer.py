@@ -1,0 +1,92 @@
+"""Transfer learning across heterogeneous server types (Section VI-E3).
+
+Delay-Power Tables profiled on one server type (e.g. Haswell) do not carry
+over to another (Broadwell, Skylake). The paper trains a simple linear
+regression that, given a function's profile on machine A and a small
+subset of profiles on machine B, predicts the remaining profiles on B —
+reaching 93.1 % accuracy with a quarter of the B samples.
+
+:class:`TransferModel` regresses B-measurements on A-measurements (with an
+intercept), per metric (time / energy), optionally per frequency level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TransferModel:
+    """Linear map from source-machine profiles to target-machine profiles."""
+
+    slope: float = 1.0
+    intercept: float = 0.0
+    r2: Optional[float] = None
+    n_train: int = 0
+
+    @classmethod
+    def fit(cls, source_values: Sequence[float],
+            target_values: Sequence[float]) -> "TransferModel":
+        """Least-squares fit of ``target = slope · source + intercept``."""
+        source = np.asarray(source_values, dtype=float)
+        target = np.asarray(target_values, dtype=float)
+        if source.shape != target.shape:
+            raise ValueError("source and target samples must align")
+        if len(source) < 2:
+            raise ValueError("need at least two paired samples to fit")
+        design = np.column_stack([source, np.ones_like(source)])
+        (slope, intercept), *_ = np.linalg.lstsq(design, target, rcond=None)
+        predictions = slope * source + intercept
+        ss_res = float(np.sum((target - predictions) ** 2))
+        ss_tot = float(np.sum((target - target.mean()) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return cls(slope=float(slope), intercept=float(intercept),
+                   r2=r2, n_train=len(source))
+
+    def predict(self, source_value: float) -> float:
+        return self.slope * source_value + self.intercept
+
+    def predict_many(self, source_values: Sequence[float]) -> np.ndarray:
+        return (self.slope * np.asarray(source_values, dtype=float)
+                + self.intercept)
+
+    def accuracy(self, source_values: Sequence[float],
+                 target_values: Sequence[float]) -> float:
+        """Mean prediction accuracy ``1 - |error| / actual`` (paper metric)."""
+        predictions = self.predict_many(source_values)
+        target = np.asarray(target_values, dtype=float)
+        if np.any(target <= 0):
+            raise ValueError("accuracy metric needs positive targets")
+        relative_error = np.abs(predictions - target) / target
+        return float(np.mean(1.0 - relative_error))
+
+
+def transfer_profiles(source: Dict[str, Dict[float, float]],
+                      target_subset: Dict[str, Dict[float, float]],
+                      ) -> Tuple[TransferModel, Dict[str, Dict[float, float]]]:
+    """Fill in missing target-machine profiles from source-machine ones.
+
+    ``source`` maps function → {frequency → metric} on machine A;
+    ``target_subset`` holds the same structure for the profiled fraction of
+    functions on machine B. Returns the fitted model and complete predicted
+    profiles for every source function.
+    """
+    paired_source: List[float] = []
+    paired_target: List[float] = []
+    for fn, freqs in target_subset.items():
+        if fn not in source:
+            raise KeyError(f"{fn!r} profiled on target but not on source")
+        for freq, value in freqs.items():
+            if freq not in source[fn]:
+                raise KeyError(f"{fn!r}@{freq} missing on source")
+            paired_source.append(source[fn][freq])
+            paired_target.append(value)
+    model = TransferModel.fit(paired_source, paired_target)
+    predicted = {
+        fn: {freq: model.predict(value) for freq, value in freqs.items()}
+        for fn, freqs in source.items()
+    }
+    return model, predicted

@@ -1,0 +1,48 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(quick=True, seed=0) -> ExperimentResult``. Quick
+mode uses scaled-down durations/cluster sizes so the whole evaluation
+regenerates in minutes; passing ``quick=False`` runs closer to the paper's
+scale. The :mod:`repro.cli` entry point prints any experiment's rows as a
+text table.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    make_load_trace,
+    make_azure_benchmark_trace,
+    run_three_systems,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "make_azure_benchmark_trace",
+    "make_load_trace",
+    "run_three_systems",
+]
+
+#: Registry of experiment ids → module name (populated by the CLI lazily).
+EXPERIMENTS = {
+    "table1": "repro.experiments.table1_benchmarks",
+    "fig02": "repro.experiments.fig02_freq_sensitivity",
+    "fig03": "repro.experiments.fig03_resource_sensitivity",
+    "fig04": "repro.experiments.fig04_input_prediction",
+    "fig05": "repro.experiments.fig05_rtc_vs_cs",
+    "fig06": "repro.experiments.fig06_switch_overhead",
+    "fig07": "repro.experiments.fig07_trace_cdf",
+    "fig12": "repro.experiments.fig12_energy_trace",
+    "fig13": "repro.experiments.fig13_energy_load",
+    "fig14": "repro.experiments.fig14_freq_timeline",
+    "fig15": "repro.experiments.fig15_freq_distribution",
+    "fig16": "repro.experiments.fig16_tail_latency",
+    "fig17": "repro.experiments.fig17_throughput",
+    "fig18": "repro.experiments.fig18_latency_vs_load",
+    "fig19": "repro.experiments.fig19_prediction_error",
+    "fig20": "repro.experiments.fig20_update_sensitivity",
+    "fig21": "repro.experiments.fig21_pool_granularity",
+    "fig22": "repro.experiments.fig22_variability",
+    "fig23": "repro.experiments.fig23_colocation",
+    "overheads": "repro.experiments.section8d_overheads",
+    "ablations": "repro.experiments.ablations",
+    "heterogeneous": "repro.experiments.heterogeneous",
+}

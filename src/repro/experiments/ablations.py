@@ -1,0 +1,61 @@
+"""Ablations of EcoFaaS's design choices (DESIGN.md §4).
+
+Each row disables exactly one mechanism and reruns the medium-load mix:
+
+* ``no-elastic``   — pools frozen at the initial single max-frequency pool;
+* ``rtc``          — run-to-completion inside pools (no switch-on-idle);
+* ``no-milp``      — proportional SLO split instead of the MILP;
+* ``no-prewarm``   — cold starts stay on the critical path;
+* ``no-mlp``       — EWMA-only prediction (no input awareness);
+* ``no-correct``   — no corrective action at dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.experiments.common import (
+    ExperimentResult,
+    make_load_trace,
+    run_cluster,
+)
+from repro.platform.cluster import ClusterConfig
+
+VARIANTS: Dict[str, EcoFaaSConfig] = {
+    "full": EcoFaaSConfig(),
+    "no-elastic": EcoFaaSConfig(elastic=False),
+    "rtc": EcoFaaSConfig(run_to_completion=True),
+    "no-milp": EcoFaaSConfig(use_milp=False),
+    "no-prewarm": EcoFaaSConfig(prewarm=False),
+    "no-mlp": EcoFaaSConfig(use_input_model=False),
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Ablations", "EcoFaaS with individual mechanisms disabled"
+        " (medium load)")
+    duration = 40.0 if quick else 300.0
+    n_servers = 3 if quick else 20
+    trace = make_load_trace("medium", n_servers, duration, seed=seed + 1)
+    reference = None
+    for variant, config in VARIANTS.items():
+        cluster = run_cluster(
+            EcoFaaSSystem(config), trace,
+            ClusterConfig(n_servers=n_servers, seed=seed, drain_s=30.0))
+        metrics = cluster.metrics
+        energy = cluster.total_energy_j
+        if variant == "full":
+            reference = energy
+        result.add(
+            variant=variant,
+            energy_kj=round(energy / 1000, 2),
+            norm_energy=round(energy / reference, 3),
+            p99_s=round(metrics.latency_p99(), 3),
+            slo_miss_pct=round(100 * metrics.slo_violation_rate(), 1),
+            cold_starts=metrics.cold_start_count(),
+        )
+    result.note("expected: every ablation costs energy and/or tail"
+                " latency relative to 'full'")
+    return result

@@ -1,0 +1,38 @@
+"""Fig. 2: response time and energy of each function vs core frequency.
+
+The paper's headline characterization: many functions can run far below
+3.0 GHz with modest latency cost and large energy savings (e.g. CNNServ at
+2 GHz: +23 % time, −40 % energy; WebServ at 1.2 GHz: +12 % time, −47 %
+energy).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, measure_unloaded
+from repro.hardware.frequency import FrequencyScale
+from repro.workloads.functionbench import STANDALONE_FUNCTIONS
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 2",
+        "Normalized response time (a) and energy (b) vs core frequency")
+    n = 10 if quick else 60
+    scale = FrequencyScale()
+    for fn in STANDALONE_FUNCTIONS:
+        reference = measure_unloaded(fn, scale.max, n_invocations=n,
+                                     seed=seed)
+        for freq in scale:
+            sample = measure_unloaded(fn, freq, n_invocations=n, seed=seed)
+            result.add(
+                function=fn.name,
+                freq_ghz=freq,
+                norm_response_time=round(
+                    sample.service_s / reference.service_s, 3),
+                norm_energy=round(sample.energy_j / reference.energy_j, 3),
+                abs_time_ms=round(sample.service_s * 1000, 2),
+                abs_energy_mj=round(sample.energy_j * 1000, 2),
+            )
+    result.note("paper anchors: CNNServ ~2.1GHz => ~1.23x time, ~0.6x"
+                " energy; WebServ 1.2GHz => ~1.12x time, ~0.53x energy")
+    return result

@@ -1,0 +1,125 @@
+"""Fig. 5: energy under Run-To-Completion vs Context-Switch-on-Idle.
+
+Both environments pick per-invocation frequencies against the same SLO
+(5x unloaded execution); the only difference is whether a core blocked on
+I/O is handed to another ready invocation. Exploiting the idle time lets
+more invocations run at lower frequencies — the paper measures 42.3 % less
+energy, growing with idle time and load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.hardware.core import Core
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.frequency import FrequencyScale
+from repro.hardware.power import PowerModel
+from repro.platform.job import Job
+from repro.platform.scheduler import CorePoolScheduler
+from repro.sim import Environment
+from repro.workloads.functionbench import STANDALONE_FUNCTIONS
+from repro.workloads.model import FunctionModel
+
+#: Per-function offered loads as a fraction of one server's
+#: run-to-completion capacity (the paper sweeps low→high and averages; the
+#: RTC penalty grows with load as queue buildup forces high frequencies).
+LOADS = (0.5, 0.75, 0.9)
+N_CORES = 8
+
+
+def _run_environment(fn: FunctionModel, utilization: float,
+                     duration_s: float, run_to_completion: bool,
+                     seed: int) -> Dict[str, float]:
+    env = Environment()
+    meter = EnergyMeter()
+    power = PowerModel()
+    scale = FrequencyScale()
+    cores = [Core(env, i, power, meter, scale.max) for i in range(N_CORES)]
+    pool = CorePoolScheduler(
+        env, cores, frequency_ghz=scale.max,
+        switch_on_idle=not run_to_completion,
+        per_job_frequency=True,
+        switch_cost=lambda: 50e-6)
+    slo = fn.slo_seconds()
+    # Load is relative to the run-to-completion capacity (a core is held
+    # through the blocks), so both environments are feasible and the
+    # difference is purely how the idle time is exploited.
+    rate = utilization * N_CORES / fn.service_seconds(scale.max)
+    rng = np.random.default_rng(seed)
+    completed = []
+
+    def choose_frequency(job: Job) -> float:
+        """Oracle per-invocation choice against the SLO (both systems)."""
+        wait = pool.estimated_queue_seconds()
+        budget = slo - wait
+        for level in scale.levels:
+            service = (job.remaining_run_seconds(level)
+                       + job.spec.total_block_seconds)
+            if service <= budget:
+                return level
+        return scale.max
+
+    def driver():
+        while env.now < duration_s:
+            yield env.timeout(float(rng.exponential(1.0 / rate)))
+            spec = fn.sample_invocation(rng)
+            job = Job(env, spec, fn.name, arrival_s=env.now,
+                      deadline_s=env.now + slo)
+            freq = choose_frequency(job)
+            job.chosen_freq_ghz = freq
+            if run_to_completion:
+                # RTC queue waits include the blocked time of jobs ahead.
+                job.registered_run_seconds = (
+                    job.remaining_run_seconds(freq)
+                    + job.spec.total_block_seconds)
+            else:
+                job.registered_run_seconds = job.remaining_run_seconds(freq)
+            job.done.callbacks.append(lambda ev: completed.append(ev.value))
+            pool.submit(job)
+
+    env.process(driver(), name="driver")
+    env.run()  # no periodic processes: the heap drains every invocation
+    for core in cores:
+        core.finalize()
+    latencies = [job.latency_s for job in completed]
+    return {
+        "energy_j": meter.total_j,
+        "p99_s": float(np.percentile(latencies, 99)) if latencies else 0.0,
+        "completed": len(completed),
+        "met_slo": float(np.mean([job.met_deadline for job in completed]))
+        if completed else 0.0,
+    }
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 5",
+        "Total energy: Run-To-Completion vs Context-Switch-on-Idle"
+        " (normalized, averaged across loads)")
+    duration = 20.0 if quick else 120.0
+    for fn in STANDALONE_FUNCTIONS:
+        rtc_energy, cs_energy = [], []
+        for load in LOADS:
+            rtc = _run_environment(fn, load, duration, True, seed)
+            cs = _run_environment(fn, load, duration, False, seed)
+            rtc_energy.append(rtc["energy_j"])
+            cs_energy.append(cs["energy_j"])
+        mean_rtc = float(np.mean(rtc_energy))
+        mean_cs = float(np.mean(cs_energy))
+        result.add(
+            function=fn.name,
+            idle_fraction=round(fn.idle_fraction, 2),
+            norm_energy_rtc=1.0,
+            norm_energy_cs=round(mean_cs / mean_rtc, 3),
+            rtc_energy_kj=round(mean_rtc / 1000, 3),
+        )
+    savings = 1.0 - float(np.mean(result.column("norm_energy_cs")))
+    result.add(function="average", idle_fraction=0.0, norm_energy_rtc=1.0,
+               norm_energy_cs=round(1.0 - savings, 3), rtc_energy_kj=0.0)
+    result.note(f"mean energy saving of context-switch-on-idle:"
+                f" {100 * savings:.1f}% (paper: 42.3%)")
+    return result

@@ -1,0 +1,51 @@
+"""Fig. 13: energy of the three systems at Low/Medium/High Poisson load.
+
+Paper anchors vs Baseline: PowerCtrl −18/−31/−27 %, EcoFaaS −56/−61/−52 %
+at 25/50/70 % CPU utilisation. All bars normalized to Baseline-High.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    SYSTEM_ORDER,
+    ExperimentResult,
+    make_load_trace,
+    run_three_systems,
+)
+from repro.platform.cluster import ClusterConfig
+
+LEVELS = ("low", "medium", "high")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 13",
+        "Normalized energy at Low/Medium/High load (vs Baseline-High)")
+    duration = 40.0 if quick else 300.0
+    n_servers = 3 if quick else 20
+    totals = {}
+    actives = {}
+    for level in LEVELS:
+        trace = make_load_trace(level, n_servers, duration, seed=seed + 1)
+        clusters = run_three_systems(
+            trace, ClusterConfig(n_servers=n_servers, seed=seed,
+                                 drain_s=20.0))
+        for name in SYSTEM_ORDER:
+            totals[(level, name)] = clusters[name].total_energy_j
+            actives[(level, name)] = (
+                clusters[name].energy_by_component()["core_active"])
+
+    base_high = totals[("high", "Baseline")]
+    active_high = actives[("high", "Baseline")]
+    for level in LEVELS:
+        row = {"load": level}
+        for name in SYSTEM_ORDER:
+            row[f"norm_{name}"] = round(totals[(level, name)] / base_high, 3)
+        for name in SYSTEM_ORDER:
+            row[f"active_{name}"] = round(
+                actives[(level, name)] / active_high, 3)
+        row["baseline_kj"] = round(totals[(level, "Baseline")] / 1000, 2)
+        result.add(**row)
+    result.note("paper anchors (vs Baseline at same load): PowerCtrl"
+                " -18/-31/-27%, EcoFaaS -56/-61/-52%")
+    return result

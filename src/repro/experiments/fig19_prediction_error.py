@@ -1,0 +1,47 @@
+"""Fig. 19: EcoFaaS energy vs injected execution-time overprediction.
+
+Bounded overprediction makes EcoFaaS run faster than necessary. The paper
+measures +22/+16/+8 % energy at 80 % error for low/medium/high load — the
+impact shrinks at high load because the system already runs fast.
+"""
+
+from __future__ import annotations
+
+from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.experiments.common import (
+    ExperimentResult,
+    make_load_trace,
+    run_cluster,
+)
+from repro.platform.cluster import ClusterConfig
+
+ERRORS = (0.0, 0.2, 0.4, 0.8)
+LEVELS = ("low", "medium", "high")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 19",
+        "EcoFaaS energy vs average execution-time overprediction error")
+    duration = 40.0 if quick else 300.0
+    n_servers = 2 if quick else 20
+    energies = {}
+    for level in LEVELS:
+        trace = make_load_trace(level, n_servers, duration, seed=seed + 1)
+        for error in ERRORS:
+            system = EcoFaaSSystem(
+                EcoFaaSConfig(overprediction_error=error))
+            cluster = run_cluster(
+                system, trace,
+                ClusterConfig(n_servers=n_servers, seed=seed, drain_s=20.0))
+            energies[(level, error)] = cluster.total_energy_j
+    for level in LEVELS:
+        base = energies[(level, 0.0)]
+        row = {"load": level, "exact_kj": round(base / 1000, 2)}
+        for error in ERRORS:
+            row[f"err{int(error * 100)}pct"] = round(
+                energies[(level, error)] / base, 3)
+        result.add(**row)
+    result.note("paper anchors at 80% error: +22% (low), +16% (medium),"
+                " +8% (high); impact shrinks with load")
+    return result

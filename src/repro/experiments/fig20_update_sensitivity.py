@@ -1,0 +1,49 @@
+"""Fig. 20: energy vs the DPT-update (T_update) and pool-refresh
+(T_refresh) periods.
+
+Too-frequent updates burn overhead and destabilise pools; too-rare ones
+leave stale decisions. The paper's sweet spots: T_update = 5 s,
+T_refresh = 2 s.
+"""
+
+from __future__ import annotations
+
+from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.experiments.common import (
+    ExperimentResult,
+    make_load_trace,
+    run_cluster,
+)
+from repro.platform.cluster import ClusterConfig
+
+T_UPDATES = (0.1, 1.0, 5.0, 12.0)
+T_REFRESHES = (0.1, 0.5, 2.0, 10.0)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 20",
+        "EcoFaaS energy vs T_update (DPT) and T_refresh (pools), medium"
+        " load")
+    duration = 40.0 if quick else 300.0
+    n_servers = 2 if quick else 20
+    trace = make_load_trace("medium", n_servers, duration, seed=seed + 1)
+
+    def energy_for(config: EcoFaaSConfig) -> float:
+        cluster = run_cluster(
+            EcoFaaSSystem(config), trace,
+            ClusterConfig(n_servers=n_servers, seed=seed, drain_s=20.0))
+        return cluster.total_energy_j
+
+    reference = energy_for(EcoFaaSConfig())
+    for t_update in T_UPDATES:
+        energy = energy_for(EcoFaaSConfig(t_update_s=t_update))
+        result.add(knob="t_update", value_s=t_update,
+                   norm_energy=round(energy / reference, 3))
+    for t_refresh in T_REFRESHES:
+        energy = energy_for(EcoFaaSConfig(t_refresh_s=t_refresh))
+        result.add(knob="t_refresh", value_s=t_refresh,
+                   norm_energy=round(energy / reference, 3))
+    result.note("paper shape: a shallow U around the chosen operating"
+                " points (5s / 2s)")
+    return result

@@ -1,0 +1,53 @@
+"""Fig. 23: CNNServ energy vs the number of co-located functions.
+
+One server runs CNNServ at a constant medium load while 0..N other
+functions share the machine. Interference forces higher frequencies in all
+systems; EcoFaaS stays cheapest throughout because its profiles are
+(re)trained online under the interference it actually experiences.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    SYSTEM_ORDER,
+    ExperimentResult,
+    run_three_systems,
+)
+from repro.platform.cluster import ClusterConfig
+from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
+from repro.workloads.registry import workflow_for
+
+TARGET = "CNNServ"
+NEIGHBOUR_SETS = (
+    (),
+    ("WebServ", "LRServ"),
+    ("WebServ", "LRServ", "ImgProc", "RNNServ"),
+    ("WebServ", "LRServ", "ImgProc", "RNNServ", "VidProc", "MLTrain"),
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 23",
+        f"{TARGET} energy vs number of co-located functions (1 server)")
+    duration = 40.0 if quick else 300.0
+    target_rate = 0.25 * 20 / workflow_for(TARGET).functions[0].run_seconds(3.0)
+
+    for neighbours in NEIGHBOUR_SETS:
+        # CNNServ holds a constant medium load; each neighbour adds its
+        # own medium slice of the machine.
+        mix = [TARGET] * 4 + list(neighbours)
+        rate = target_rate * len(mix) / 4
+        trace = generate_poisson_trace(PoissonLoadConfig(
+            mix, rate_rps=rate, duration_s=duration, seed=seed + 1))
+        clusters = run_three_systems(
+            trace, ClusterConfig(n_servers=1, seed=seed, drain_s=30.0))
+        row = {"colocated": len(neighbours)}
+        for name in SYSTEM_ORDER:
+            energy = clusters[name].energy_by_benchmark().get(TARGET, 0.0)
+            count = clusters[name].metrics.completed_workflows(TARGET)
+            row[f"mj_per_inv_{name}"] = round(1000 * energy / count, 1)
+        result.add(**row)
+    result.note("paper shape: per-invocation energy rises with"
+                " co-location for all systems; EcoFaaS stays lowest")
+    return result

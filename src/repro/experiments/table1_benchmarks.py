@@ -1,0 +1,50 @@
+"""Table I: the evaluated serverless benchmarks."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.workloads.applications import APPLICATIONS
+from repro.workloads.functionbench import STANDALONE_FUNCTIONS
+
+_DESCRIPTIONS = {
+    "WebServ": "Processing JSON file fetched from the storage",
+    "ImgProc": "Image processing: Resize image",
+    "CNNServ": "ML model serving: CNN-based image classification",
+    "LRServ": "ML model serving: Logistic regression",
+    "RNNServ": "ML model serving: RNN-based word generation",
+    "VidProc": "Video processing: Apply gray-scale effect",
+    "MLTrain": "ML model training: Logistic regression",
+    "MLTune": "Tuning an ML model",
+    "DataAn": "Wage-data analysis workload",
+    "eBank": "Withdraw money from an account",
+    "eBook": "A hotel reservation service",
+    "VidAn": "A video analysis system",
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Table I", "Serverless benchmarks used in the evaluation")
+    for fn in STANDALONE_FUNCTIONS:
+        result.add(
+            benchmark=fn.name,
+            kind="function",
+            description=_DESCRIPTIONS[fn.name],
+            functions=1,
+            warm_latency_ms=round(fn.service_seconds(3.0) * 1000, 2),
+            idle_fraction=round(fn.idle_fraction, 2),
+        )
+    for name, workflow in APPLICATIONS.items():
+        result.add(
+            benchmark=name,
+            kind="application",
+            description=_DESCRIPTIONS[name],
+            functions=workflow.n_functions,
+            warm_latency_ms=round(workflow.warm_latency(3.0) * 1000, 2),
+            idle_fraction=round(
+                sum(f.idle_fraction for f in workflow.functions)
+                / workflow.n_functions, 2),
+        )
+    result.note("function counts match Table I: MLTune 6, DataAn 8,"
+                " eBank 6, eBook 7, VidAn 3")
+    return result

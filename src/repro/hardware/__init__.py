@@ -1,0 +1,41 @@
+"""Simulated hardware substrate.
+
+Models the evaluation platform of the paper — dual-socket Intel Haswell
+E5-2660 v3 servers (20 cores) with ACPI userspace DVFS at 7 levels between
+1.2 and 3.0 GHz — at the level of detail the EcoFaaS mechanisms observe:
+
+* :mod:`~repro.hardware.frequency` — discrete frequency scales and the cost
+  of changing frequency (hardware, kernel/MSR, and sandboxed-userspace
+  paths).
+* :mod:`~repro.hardware.work` — the two-component work model
+  ``T_run(f) = gcycles / f + mem_seconds`` that yields the measured shape of
+  frequency sensitivity.
+* :mod:`~repro.hardware.power` — analytic per-core power ``P(f) = s + k·f³``
+  plus uncore and DRAM power.
+* :mod:`~repro.hardware.energy` — integrating energy meters and frequency
+  timelines (the simulated counterpart of RAPL / CPU Energy Meter).
+* :mod:`~repro.hardware.core` / :mod:`~repro.hardware.server` — cores that
+  execute work with preemption and frequency changes, grouped into servers.
+* :mod:`~repro.hardware.cache` — LLC-way / memory-bandwidth throttling
+  penalties (the pqos experiment of Fig. 3).
+"""
+
+from repro.hardware.cache import ResourceThrottleModel
+from repro.hardware.core import Core
+from repro.hardware.energy import EnergyMeter, FrequencyTimeline
+from repro.hardware.frequency import DvfsCostModel, FrequencyScale
+from repro.hardware.power import PowerModel
+from repro.hardware.server import Server
+from repro.hardware.work import WorkUnit
+
+__all__ = [
+    "Core",
+    "DvfsCostModel",
+    "EnergyMeter",
+    "FrequencyScale",
+    "FrequencyTimeline",
+    "PowerModel",
+    "ResourceThrottleModel",
+    "Server",
+    "WorkUnit",
+]

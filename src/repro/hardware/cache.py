@@ -1,0 +1,71 @@
+"""LLC-way and memory-bandwidth throttling (the pqos study of Fig. 3).
+
+The paper partitions the 16-way LLC and throttles memory bandwidth with
+Intel RDT and observes that serverless functions barely care: at 4 ways the
+worst response-time increase is 6 %, at 20 % bandwidth it is 4 %. We model
+the same effect as a multiplier on the *memory-time* component of a
+function's work — compute cycles are unaffected by either knob, and the
+normalized penalty grows with the reciprocal of the allocation, saturating
+at a per-function sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceThrottleModel:
+    """Memory-time inflation under LLC-way / bandwidth throttling.
+
+    ``max_llc_ways`` is the full allocation (16 on the Haswell platform).
+    A function's ``llc_sensitivity`` / ``bw_sensitivity`` (both in [0, 1])
+    scale the normalized penalty curves; at the minimum allocation the
+    memory time of a fully sensitive function doubles.
+    """
+
+    max_llc_ways: int = 16
+    min_llc_ways: int = 2
+    min_bw_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.min_llc_ways < 1 or self.max_llc_ways <= self.min_llc_ways:
+            raise ValueError(
+                f"invalid way range [{self.min_llc_ways}, {self.max_llc_ways}]")
+        if not 0 < self.min_bw_fraction < 1:
+            raise ValueError(
+                f"min_bw_fraction must be in (0, 1): {self.min_bw_fraction}")
+
+    def llc_penalty(self, ways: int) -> float:
+        """Normalized [0, 1] penalty for an allocation of ``ways`` ways."""
+        if not self.min_llc_ways <= ways <= self.max_llc_ways:
+            raise ValueError(
+                f"ways must be in [{self.min_llc_ways}, {self.max_llc_ways}],"
+                f" got {ways}")
+        worst = self.max_llc_ways / self.min_llc_ways - 1.0
+        return (self.max_llc_ways / ways - 1.0) / worst
+
+    def bw_penalty(self, bw_fraction: float) -> float:
+        """Normalized [0, 1] penalty for a bandwidth cap of ``bw_fraction``."""
+        if not self.min_bw_fraction <= bw_fraction <= 1.0:
+            raise ValueError(
+                f"bw_fraction must be in [{self.min_bw_fraction}, 1],"
+                f" got {bw_fraction}")
+        worst = 1.0 / self.min_bw_fraction - 1.0
+        return (1.0 / bw_fraction - 1.0) / worst
+
+    def memory_time_multiplier(self, llc_ways: int, bw_fraction: float,
+                               llc_sensitivity: float,
+                               bw_sensitivity: float) -> float:
+        """Multiplier applied to a work unit's ``mem_seconds``.
+
+        Sensitivities are per-function: how much of the memory time is
+        serviced by the throttled resource.
+        """
+        for name, value in (("llc_sensitivity", llc_sensitivity),
+                            ("bw_sensitivity", bw_sensitivity)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        return (1.0
+                + llc_sensitivity * self.llc_penalty(llc_ways)
+                + bw_sensitivity * self.bw_penalty(bw_fraction))

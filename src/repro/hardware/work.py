@@ -1,0 +1,87 @@
+"""The two-component CPU work model.
+
+A unit of on-core work is ``(gcycles, mem_seconds)``: a frequency-scaled
+compute part (``gcycles / f_ghz`` seconds at ``f_ghz``) and a
+frequency-insensitive part (memory stalls, whose latency is set by DRAM, not
+the core clock). This reproduces the measured shape of Fig. 2a — compute-
+bound functions (MLTrain, CNNServ) slow down ~1/f while I/O- or memory-bound
+ones (WebServ) barely move — and is the standard analytic DVFS model.
+
+Work units are *consumed*: a core executing a unit for ``elapsed`` seconds
+at frequency ``f`` removes a proportional share of both components, so
+preemption and mid-phase frequency changes conserve total work exactly (a
+property the test-suite checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkUnit:
+    """Remaining on-core work: compute gigacycles + memory-stall seconds."""
+
+    gcycles: float
+    mem_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gcycles < 0 or self.mem_seconds < 0:
+            raise ValueError(
+                f"work components must be non-negative: {self}")
+
+    @property
+    def done(self) -> bool:
+        """True once no work remains (within float tolerance)."""
+        return self.gcycles <= 1e-12 and self.mem_seconds <= 1e-12
+
+    def duration(self, freq_ghz: float) -> float:
+        """Seconds needed to finish the remaining work at ``freq_ghz``."""
+        if freq_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {freq_ghz}")
+        return self.gcycles / freq_ghz + self.mem_seconds
+
+    def consume(self, freq_ghz: float, elapsed: float) -> None:
+        """Remove ``elapsed`` seconds of execution at ``freq_ghz``.
+
+        The compute and memory components are assumed uniformly interleaved,
+        so each shrinks by the same fraction of its remaining amount. Asking
+        for more time than the remaining duration is an error (callers must
+        clamp to ``duration``) — silently over-consuming would hide
+        scheduler bugs.
+        """
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed}")
+        total = self.duration(freq_ghz)
+        if elapsed > total + 1e-9:
+            raise ValueError(
+                f"cannot consume {elapsed}s, only {total}s remain")
+        if total <= 0:
+            return
+        fraction = min(1.0, elapsed / total)
+        self.gcycles *= (1.0 - fraction)
+        self.mem_seconds *= (1.0 - fraction)
+        if fraction >= 1.0:
+            self.gcycles = 0.0
+            self.mem_seconds = 0.0
+
+    def copy(self) -> "WorkUnit":
+        """An independent copy (templates are never executed directly)."""
+        return WorkUnit(self.gcycles, self.mem_seconds)
+
+    @classmethod
+    def from_profile(cls, seconds_at_max: float, compute_fraction: float,
+                     max_freq_ghz: float) -> "WorkUnit":
+        """Build a unit from a measured duration at the top frequency.
+
+        ``compute_fraction`` is the share of ``seconds_at_max`` spent in
+        frequency-scaled compute; the rest is memory time.
+        """
+        if not 0.0 <= compute_fraction <= 1.0:
+            raise ValueError(
+                f"compute_fraction must be in [0, 1], got {compute_fraction}")
+        if seconds_at_max < 0:
+            raise ValueError(f"negative duration {seconds_at_max}")
+        compute_s = seconds_at_max * compute_fraction
+        return cls(gcycles=compute_s * max_freq_ghz,
+                   mem_seconds=seconds_at_max * (1.0 - compute_fraction))

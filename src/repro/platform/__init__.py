@@ -1,0 +1,37 @@
+"""The serverless platform substrate.
+
+Implements the platform structure of Fig. 1/8 that all three evaluated
+systems share: request frontend, load balancer, per-node container
+management with cold starts, core-pool scheduling with
+context-switch-on-idle and old-preempts-young semantics, metrics
+collection, and the workflow engine that executes multi-function
+applications stage by stage.
+
+System-specific behaviour (how deadlines are assigned and how frequencies
+are chosen) plugs in through :class:`~repro.platform.system.NodeSystem`
+and :class:`~repro.platform.system.DeadlinePolicy`.
+"""
+
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.platform.containers import ContainerManager
+from repro.platform.job import Job
+from repro.platform.metrics import (
+    FunctionRecord,
+    MetricsCollector,
+    WorkflowRecord,
+    percentile,
+)
+from repro.platform.scheduler import CorePoolScheduler, SchedulerStats
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ContainerManager",
+    "CorePoolScheduler",
+    "FunctionRecord",
+    "Job",
+    "MetricsCollector",
+    "SchedulerStats",
+    "WorkflowRecord",
+    "percentile",
+]

@@ -1,0 +1,176 @@
+"""Cluster assembly: servers, load balancer, and the workflow engine.
+
+The cluster plays the role of the Frontend + Load Balancer of Fig. 1/8 and
+drives invocation traces through application workflows: every trace event
+starts a workflow; each stage's functions are dispatched (least-loaded node
+first) and the stage completes when its slowest member finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.frequency import FrequencyScale
+from repro.hardware.power import PowerModel
+from repro.hardware.server import Server
+from repro.platform.metrics import MetricsCollector
+from repro.platform.system import ClusterSystem, NodeSystem
+from repro.sim.engine import Environment
+from repro.sim.rng import RngRegistry
+from repro.traces.trace import Trace
+from repro.workloads.applications import Workflow
+from repro.workloads.registry import workflow_for
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster (defaults match Section VII)."""
+
+    n_servers: int = 5
+    cores_per_server: int = 20
+    slo_multiple: float = 5.0
+    seed: int = 0
+    scale: FrequencyScale = field(default_factory=FrequencyScale)
+    power: PowerModel = field(default_factory=PowerModel)
+    #: Extra simulated seconds after the trace ends to drain in-flight work.
+    drain_s: float = 5.0
+    #: Input-feature dispersion passed to invocation sampling (Fig. 22).
+    input_dispersion: float = 1.0
+    #: Heterogeneous machine mix (Section VI-E3): a sequence of
+    #: ``(machine_type, ipc_factor)`` pairs cycled over the servers.
+    #: None = all servers are identical ("haswell", 1.0).
+    machine_mix: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("need at least one server")
+        if self.cores_per_server < 1:
+            raise ValueError("need at least one core per server")
+        if self.slo_multiple <= 0:
+            raise ValueError("SLO multiple must be positive")
+        if self.drain_s < 0:
+            raise ValueError("drain must be non-negative")
+
+
+class Cluster:
+    """A cluster running one serverless system."""
+
+    def __init__(self, env: Environment, system: ClusterSystem,
+                 config: Optional[ClusterConfig] = None):
+        self.env = env
+        self.system = system
+        self.config = config or ClusterConfig()
+        self.metrics = MetricsCollector()
+        self.rng = RngRegistry(self.config.seed)
+        mix = self.config.machine_mix or (("haswell", 1.0),)
+        self.servers: List[Server] = [
+            Server(env, server_id=i, n_cores=self.config.cores_per_server,
+                   scale=self.config.scale, power=self.config.power,
+                   machine_type=mix[i % len(mix)][0],
+                   ipc_factor=mix[i % len(mix)][1])
+            for i in range(self.config.n_servers)
+        ]
+        self.nodes: List[NodeSystem] = [
+            system.make_node(env, server, self.metrics, self.rng)
+            for server in self.servers
+        ]
+        self._rr_index = 0
+        #: Workflows in flight (for drain diagnostics).
+        self.inflight = 0
+
+    # ------------------------------------------------------------------
+    # Load balancing (Fig. 1's Cluster Controller)
+    # ------------------------------------------------------------------
+    def pick_node(self) -> NodeSystem:
+        """Least outstanding jobs; round-robin among ties."""
+        best = min(node.outstanding for node in self.nodes)
+        candidates = [i for i, node in enumerate(self.nodes)
+                      if node.outstanding == best]
+        choice = candidates[self._rr_index % len(candidates)]
+        self._rr_index += 1
+        return self.nodes[choice]
+
+    # ------------------------------------------------------------------
+    # Workflow engine
+    # ------------------------------------------------------------------
+    def submit_workflow(self, workflow: Workflow) -> None:
+        """Start one end-to-end application invocation now."""
+        self.env.process(self._run_workflow(workflow, self.env.now),
+                         name=f"wf-{workflow.name}")
+
+    def _run_workflow(self, workflow: Workflow, arrival_s: float):
+        slo_s = workflow.slo_seconds(self.config.slo_multiple)
+        deadlines = self.system.function_deadlines(workflow, arrival_s, slo_s)
+        self.system.on_workflow_arrival(self, workflow, arrival_s, deadlines)
+        self.inflight += 1
+        try:
+            for stage in workflow.stages:
+                jobs = []
+                for fn_model in stage.functions:
+                    spec = fn_model.sample_invocation(
+                        self.rng.stream(f"inputs/{fn_model.name}"),
+                        dispersion=self.config.input_dispersion)
+                    deadline = (deadlines.get(fn_model.name)
+                                if deadlines is not None else None)
+                    node = self.pick_node()
+                    jobs.append(node.submit(
+                        fn_model, spec, deadline, workflow.name,
+                        seniority_time_s=arrival_s))
+                yield self.env.all_of([job.done for job in jobs])
+            self.metrics.record_workflow(
+                workflow.name, arrival_s, self.env.now - arrival_s, slo_s)
+        finally:
+            self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Trace driving
+    # ------------------------------------------------------------------
+    def _drive(self, trace: Trace,
+               workflows: Dict[str, Workflow]):
+        for event in trace:
+            delay = event.time_s - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.submit_workflow(workflows[event.benchmark])
+
+    def run_trace(self, trace: Trace,
+                  workflows: Optional[Dict[str, Workflow]] = None) -> None:
+        """Run a full trace to completion (plus the drain window)."""
+        if workflows is None:
+            workflows = {name: workflow_for(name)
+                         for name in trace.invocation_counts()}
+        missing = set(trace.invocation_counts()) - set(workflows)
+        if missing:
+            raise ValueError(f"trace references unknown workflows: {missing}")
+        self.env.process(self._drive(trace, workflows), name="trace-driver")
+        self.env.run(until=self.env.now + trace.duration_s
+                     + self.config.drain_s)
+        self.finalize()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        for node in self.nodes:
+            node.finalize()
+
+    @property
+    def total_energy_j(self) -> float:
+        """Whole-cluster metered energy (call after finalize)."""
+        return sum(server.total_energy_j for server in self.servers)
+
+    def energy_by_benchmark(self) -> Dict[str, float]:
+        """Core-attributed energy per benchmark across all servers."""
+        totals: Dict[str, float] = {}
+        for server in self.servers:
+            for consumer, joules in server.meter.by_consumer().items():
+                totals[consumer] = totals.get(consumer, 0.0) + joules
+        return totals
+
+    def energy_by_component(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for server in self.servers:
+            for component, joules in server.meter.by_component().items():
+                totals[component] = totals.get(component, 0.0) + joules
+        return totals

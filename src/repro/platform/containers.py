@@ -1,0 +1,95 @@
+"""Per-node container lifecycle with cold starts and keep-alive.
+
+A function has at most one container state per node: *cold* (no container),
+*starting* (a cold start is executing), or *warm* (usable, until the
+keep-alive expires). Jobs arriving while a container is starting wait for
+the in-flight cold start instead of launching their own — and EcoFaaS's
+prewarming (Section VI-E1) initiates cold starts ahead of need through the
+same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+#: Default keep-alive, seconds (typical FaaS platforms hold containers for
+#: minutes; 60 s keeps simulations dynamic).
+KEEP_ALIVE_S = 60.0
+
+
+class ContainerManager:
+    """Tracks container state for every function on one node."""
+
+    def __init__(self, env: Environment, keep_alive_s: float = KEEP_ALIVE_S):
+        if keep_alive_s <= 0:
+            raise ValueError(f"keep-alive must be positive: {keep_alive_s}")
+        self.env = env
+        self.keep_alive_s = keep_alive_s
+        self._warm_until: Dict[str, float] = {}
+        self._starting: Dict[str, Event] = {}
+        #: Statistics.
+        self.cold_starts = 0
+        self.warm_hits = 0
+
+    def state(self, function_name: str) -> str:
+        """``"warm"``, ``"starting"``, or ``"cold"``."""
+        if function_name in self._starting:
+            return "starting"
+        if self._warm_until.get(function_name, -1.0) > self.env.now:
+            return "warm"
+        return "cold"
+
+    def is_warm(self, function_name: str) -> bool:
+        return self.state(function_name) == "warm"
+
+    def touch(self, function_name: str) -> None:
+        """Refresh the keep-alive of a warm container (it was just used)."""
+        if self.state(function_name) != "warm":
+            raise RuntimeError(
+                f"cannot touch {function_name!r}: container is"
+                f" {self.state(function_name)}")
+        self._warm_until[function_name] = self.env.now + self.keep_alive_s
+
+    def begin_cold_start(self, function_name: str) -> Event:
+        """Transition cold → starting; returns the container-ready event.
+
+        The caller is responsible for executing the cold-start work and
+        then calling :meth:`finish_cold_start`.
+        """
+        if self.state(function_name) != "cold":
+            raise RuntimeError(
+                f"cold start of {function_name!r} while"
+                f" {self.state(function_name)}")
+        event = Event(self.env)
+        self._starting[function_name] = event
+        self.cold_starts += 1
+        return event
+
+    def ready_event(self, function_name: str) -> Event:
+        """The in-flight cold start's ready event (state must be starting)."""
+        try:
+            return self._starting[function_name]
+        except KeyError:
+            raise RuntimeError(
+                f"{function_name!r} has no cold start in flight") from None
+
+    def finish_cold_start(self, function_name: str) -> None:
+        """Transition starting → warm and wake all waiters."""
+        event = self._starting.pop(function_name, None)
+        if event is None:
+            raise RuntimeError(
+                f"{function_name!r} had no cold start in flight")
+        self._warm_until[function_name] = self.env.now + self.keep_alive_s
+        event.succeed(function_name)
+
+    def record_warm_hit(self) -> None:
+        self.warm_hits += 1
+
+    def warm_functions(self) -> list:
+        """Names of currently warm functions (for tests/inspection)."""
+        return [name for name in self._warm_until
+                if self._warm_until[name] > self.env.now
+                and name not in self._starting]

@@ -1,0 +1,169 @@
+"""Run metrics: per-function and end-to-end records, percentiles, rollups."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.platform.job import Job
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile (0-100) of ``values``."""
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100]: {p}")
+    if len(values) == 0:
+        raise ValueError("cannot take a percentile of nothing")
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+@dataclass(frozen=True)
+class FunctionRecord:
+    """The measured outcome of one function invocation."""
+
+    benchmark: str
+    function: str
+    arrival_s: float
+    latency_s: float
+    t_queue_s: float
+    t_run_s: float
+    t_block_s: float
+    energy_j: float
+    cold_start: bool
+    chosen_freq_ghz: Optional[float]
+    met_deadline: bool
+    freq_run_seconds: Dict[float, float]
+
+    @classmethod
+    def from_job(cls, job: Job) -> "FunctionRecord":
+        return cls(
+            benchmark=job.benchmark,
+            function=job.function_name,
+            arrival_s=job.arrival_s,
+            latency_s=job.latency_s,
+            t_queue_s=job.t_queue,
+            t_run_s=job.t_run,
+            t_block_s=job.t_block,
+            energy_j=job.energy_j,
+            cold_start=job.cold_start,
+            chosen_freq_ghz=job.chosen_freq_ghz,
+            met_deadline=job.met_deadline,
+            freq_run_seconds=dict(job.freq_run_seconds),
+        )
+
+
+@dataclass(frozen=True)
+class WorkflowRecord:
+    """The measured outcome of one end-to-end application invocation."""
+
+    benchmark: str
+    arrival_s: float
+    latency_s: float
+    slo_s: float
+
+    @property
+    def met_slo(self) -> bool:
+        return self.latency_s <= self.slo_s + 1e-9
+
+
+class MetricsCollector:
+    """Accumulates records during a run and answers rollup queries."""
+
+    def __init__(self) -> None:
+        self.function_records: List[FunctionRecord] = []
+        self.workflow_records: List[WorkflowRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_job(self, job: Job) -> None:
+        self.function_records.append(FunctionRecord.from_job(job))
+
+    def record_workflow(self, benchmark: str, arrival_s: float,
+                        latency_s: float, slo_s: float) -> None:
+        self.workflow_records.append(
+            WorkflowRecord(benchmark, arrival_s, latency_s, slo_s))
+
+    # ------------------------------------------------------------------
+    # End-to-end rollups (what the figures report)
+    # ------------------------------------------------------------------
+    def _workflow_latencies(self, benchmark: Optional[str]) -> List[float]:
+        return [r.latency_s for r in self.workflow_records
+                if benchmark is None or r.benchmark == benchmark]
+
+    def latency_avg(self, benchmark: Optional[str] = None) -> float:
+        values = self._workflow_latencies(benchmark)
+        if not values:
+            raise ValueError(f"no workflow records for {benchmark!r}")
+        return float(np.mean(values))
+
+    def latency_p99(self, benchmark: Optional[str] = None) -> float:
+        """Tail latency as the paper defines it (99th percentile)."""
+        values = self._workflow_latencies(benchmark)
+        if not values:
+            raise ValueError(f"no workflow records for {benchmark!r}")
+        return percentile(values, 99.0)
+
+    def slo_violation_rate(self, benchmark: Optional[str] = None) -> float:
+        records = [r for r in self.workflow_records
+                   if benchmark is None or r.benchmark == benchmark]
+        if not records:
+            raise ValueError(f"no workflow records for {benchmark!r}")
+        return sum(1 for r in records if not r.met_slo) / len(records)
+
+    def completed_workflows(self, benchmark: Optional[str] = None) -> int:
+        return len([r for r in self.workflow_records
+                    if benchmark is None or r.benchmark == benchmark])
+
+    def benchmarks(self) -> List[str]:
+        """Benchmarks seen, alphabetical."""
+        return sorted({r.benchmark for r in self.workflow_records})
+
+    # ------------------------------------------------------------------
+    # Function-level rollups
+    # ------------------------------------------------------------------
+    def function_energy_j(self, benchmark: Optional[str] = None) -> float:
+        """Per-invocation (core-attributed) energy summed over records."""
+        return sum(r.energy_j for r in self.function_records
+                   if benchmark is None or r.benchmark == benchmark)
+
+    def cold_start_count(self, benchmark: Optional[str] = None) -> int:
+        return sum(1 for r in self.function_records if r.cold_start
+                   and (benchmark is None or r.benchmark == benchmark))
+
+    def deadline_miss_rate(self) -> float:
+        if not self.function_records:
+            raise ValueError("no function records")
+        return (sum(1 for r in self.function_records if not r.met_deadline)
+                / len(self.function_records))
+
+    def mean_breakdown(self, benchmark: Optional[str] = None) -> Dict[str, float]:
+        """Mean T_Queue / T_Run / T_Block across function records."""
+        records = [r for r in self.function_records
+                   if benchmark is None or r.benchmark == benchmark]
+        if not records:
+            raise ValueError(f"no function records for {benchmark!r}")
+        return {
+            "t_queue": float(np.mean([r.t_queue_s for r in records])),
+            "t_run": float(np.mean([r.t_run_s for r in records])),
+            "t_block": float(np.mean([r.t_block_s for r in records])),
+        }
+
+    def frequency_histogram(self) -> Dict[float, int]:
+        """Invocations per chosen dispatch frequency (Fig. 15)."""
+        histogram: Dict[float, int] = defaultdict(int)
+        for record in self.function_records:
+            if record.chosen_freq_ghz is not None:
+                histogram[record.chosen_freq_ghz] += 1
+        return dict(histogram)
+
+    def frequency_time_histogram(self) -> Dict[float, float]:
+        """Run-seconds accumulated at each frequency across invocations."""
+        histogram: Dict[float, float] = defaultdict(float)
+        for record in self.function_records:
+            for freq, seconds in record.freq_run_seconds.items():
+                histogram[freq] += seconds
+        return dict(histogram)

@@ -1,0 +1,115 @@
+"""Interfaces that a serverless system implements to run on the platform.
+
+A *system* (Baseline, Baseline+PowerCtrl, EcoFaaS) provides two things:
+
+* a :class:`NodeSystem` per server — how invocations are scheduled and at
+  what frequency cores run;
+* a cluster-level deadline policy — how an application's SLO becomes
+  per-function deadlines (the Workflow Controller in EcoFaaS, the
+  proportional split in Baseline+PowerCtrl, nothing in Baseline).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.hardware.server import Server
+from repro.platform.containers import ContainerManager
+from repro.platform.job import Job
+from repro.platform.metrics import MetricsCollector
+from repro.sim.engine import Environment
+from repro.sim.rng import RngRegistry
+from repro.workloads.applications import Workflow
+from repro.workloads.model import FunctionModel
+from repro.workloads.spec import InvocationSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import Cluster
+
+
+class NodeSystem(abc.ABC):
+    """Per-server controller: owns the server's cores and containers."""
+
+    def __init__(self, env: Environment, server: Server,
+                 metrics: MetricsCollector, rng: RngRegistry):
+        self.env = env
+        self.server = server
+        self.metrics = metrics
+        self.rng = rng
+        self.containers = ContainerManager(env)
+
+    @abc.abstractmethod
+    def submit(self, fn_model: FunctionModel, spec: InvocationSpec,
+               deadline_s: Optional[float], benchmark: str,
+               seniority_time_s: Optional[float] = None) -> Job:
+        """Accept one function invocation; returns the in-flight job.
+
+        ``seniority_time_s`` carries the owning application's arrival time
+        so old-preempts-young treats late-stage functions of old requests
+        as old jobs.
+        """
+
+    @property
+    @abc.abstractmethod
+    def outstanding(self) -> int:
+        """Queued + running jobs (the load balancer's signal)."""
+
+    def prewarm(self, fn_model: FunctionModel, budget_s: float,
+                benchmark: str) -> None:
+        """Start this function's container ahead of need (optional)."""
+
+    def finalize(self) -> None:
+        """Flush all energy accounting (end of run)."""
+        self.server.finalize()
+
+    # ------------------------------------------------------------------
+    # Shared cold-start plumbing for subclasses
+    # ------------------------------------------------------------------
+    def _attach_container(self, fn_model: FunctionModel, job: Job,
+                          stream_name: str) -> Optional[object]:
+        """Resolve container state for ``job``.
+
+        Returns None when the job can be scheduled right away (warm
+        container, or this job now carries the cold-start work), or the
+        ready event the caller must wait on (another cold start is in
+        flight).
+        """
+        state = self.containers.state(fn_model.name)
+        if state == "warm":
+            self.containers.touch(fn_model.name)
+            self.containers.record_warm_hit()
+            return None
+        if state == "starting":
+            return self.containers.ready_event(fn_model.name)
+        # Cold: this job boots the container as its setup work.
+        self.containers.begin_cold_start(fn_model.name)
+        job.setup_work = fn_model.sample_cold_start_work(
+            self.rng.stream(stream_name))
+        job.cold_start = True
+        job._segment_index = -1
+        job.on_setup_done = (
+            lambda name=fn_model.name: self.containers.finish_cold_start(name))
+        return None
+
+
+class ClusterSystem(abc.ABC):
+    """Whole-cluster behaviour of one evaluated system."""
+
+    #: Human-readable system name used in reports.
+    name: str = "system"
+
+    @abc.abstractmethod
+    def make_node(self, env: Environment, server: Server,
+                  metrics: MetricsCollector, rng: RngRegistry) -> NodeSystem:
+        """Build this system's per-server controller."""
+
+    @abc.abstractmethod
+    def function_deadlines(self, workflow: Workflow, arrival_s: float,
+                           slo_s: float) -> Optional[Dict[str, float]]:
+        """Absolute completion deadline per function, or None (best effort)."""
+
+    def on_workflow_arrival(self, cluster: "Cluster", workflow: Workflow,
+                            arrival_s: float,
+                            deadlines: Optional[Dict[str, float]]) -> None:
+        """Hook at workflow admission (EcoFaaS prewarms containers here)."""

@@ -1,0 +1,118 @@
+"""Plot-free rendering helpers: ASCII bar charts, histograms, sparklines.
+
+The experiment harnesses print fixed-width tables; these helpers render
+the same data as terminal graphics for the figures where shape matters
+more than digits (frequency distributions, timelines, latency curves).
+No plotting dependency is needed anywhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Eighth-block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(values: Dict[str, float], width: int = 40,
+              unit: str = "") -> str:
+    """Horizontal bar chart of label → value (values must be >= 0)."""
+    if not values:
+        raise ValueError("nothing to chart")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart needs non-negative values")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        bar = "█" * filled
+        lines.append(f"{str(label).rjust(label_width)} |{bar.ljust(width)}"
+                     f" {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(samples: Sequence[float], bins: int = 10,
+              width: int = 40) -> str:
+    """ASCII histogram of a sample set."""
+    if len(samples) == 0:
+        raise ValueError("nothing to chart")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    lo, hi = min(samples), max(samples)
+    if hi == lo:
+        hi = lo + 1.0
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for sample in samples:
+        index = min(int((sample - lo) / step), bins - 1)
+        counts[index] += 1
+    labels = {
+        f"[{lo + i * step:.3g}, {lo + (i + 1) * step:.3g})": float(count)
+        for i, count in enumerate(counts)
+    }
+    return bar_chart(labels, width=width)
+
+
+def sparkline(values: Sequence[float],
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line sparkline (8 vertical levels)."""
+    if len(values) == 0:
+        raise ValueError("nothing to chart")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_LEVELS[4] * len(values)
+    span = hi - lo
+    chars = []
+    for value in values:
+        level = (value - lo) / span
+        index = min(len(_SPARK_LEVELS) - 1,
+                    max(0, int(round(level * (len(_SPARK_LEVELS) - 1)))))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def timeline(samples: Sequence[Tuple[float, float]], width: int = 60,
+             label: str = "") -> str:
+    """Render a (time, value) series as a labelled sparkline with range."""
+    if len(samples) == 0:
+        raise ValueError("nothing to chart")
+    values = [v for _, v in samples]
+    if len(values) > width:
+        # Decimate evenly to the requested width.
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    spark = sparkline(values)
+    lo, hi = min(v for _, v in samples), max(v for _, v in samples)
+    prefix = f"{label} " if label else ""
+    return (f"{prefix}[{samples[0][0]:.4g}s..{samples[-1][0]:.4g}s]"
+            f" {spark} (min {lo:.4g}, max {hi:.4g})")
+
+
+def comparison_table(rows: List[Dict[str, object]], key_column: str,
+                     value_columns: Sequence[str], width: int = 30) -> str:
+    """Bars per row for several value columns side by side.
+
+    Handy for the normalized-energy figures: one bar group per benchmark,
+    one bar per system.
+    """
+    if not rows:
+        raise ValueError("nothing to chart")
+    lines = []
+    numeric = [float(row[c]) for row in rows for c in value_columns
+               if isinstance(row.get(c), (int, float))]
+    peak = max(numeric) if numeric else 1.0
+    peak = peak or 1.0
+    col_width = max(len(c) for c in value_columns)
+    for row in rows:
+        lines.append(str(row[key_column]))
+        for column in value_columns:
+            value = row.get(column)
+            if not isinstance(value, (int, float)):
+                continue
+            filled = int(round(width * float(value) / peak))
+            lines.append(f"  {column.rjust(col_width)} "
+                         f"|{('█' * filled).ljust(width)} {value:.3g}")
+    return "\n".join(lines)

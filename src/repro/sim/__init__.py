@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, simpy-like engine built from scratch:
+
+* :class:`~repro.sim.engine.Environment` — the event loop and clock.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` —
+  one-shot occurrences processes can wait on.
+* :class:`~repro.sim.process.Process` — a generator-based coroutine that
+  yields events; supports interruption (used for preemptive scheduling).
+* :class:`~repro.sim.resources.Resource` / :class:`~repro.sim.resources.Store`
+  — FIFO capacity-limited resources and object stores.
+* :class:`~repro.sim.rng.RngRegistry` — named, reproducible random streams.
+
+Determinism contract: events scheduled for the same timestamp fire in
+scheduling order (a monotonically increasing sequence number breaks ties),
+and all randomness is drawn from named seeded streams, so a simulation with
+the same seed replays identically.
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.priority import PreemptiveResource, PriorityResource
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PreemptiveResource",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,137 @@
+"""Priority-aware resources for the discrete-event kernel.
+
+:class:`PriorityResource` grants waiting requests lowest-priority-value
+first (ties FIFO); :class:`PreemptiveResource` additionally lets a
+higher-priority request evict the lowest-priority current user, whose
+owning process receives an :class:`~repro.sim.events.Interrupt` carrying a
+:class:`Preempted` cause.
+
+The serverless platform uses its own scheduler (it needs EWT counters and
+per-job frequencies), but these primitives complete the kernel for
+standalone use and are exercised by the test-suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class Preempted:
+    """Interrupt cause delivered to an evicted resource user."""
+
+    by: "PriorityRequest"
+    usage_since: float
+
+
+class PriorityRequest(Event):
+    """A prioritised claim on a :class:`PriorityResource` slot."""
+
+    _ids = itertools.count()
+
+    def __init__(self, resource: "PriorityResource", priority: int,
+                 preempt: bool = True):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.preempt = preempt
+        self.order = next(self._ids)
+        #: The process that issued the request (eviction target).
+        self.owner: Optional["Process"] = resource.env.active_process
+        self.granted_at: Optional[float] = None
+        resource._request(self)
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.priority, self.order)
+
+    def __enter__(self) -> "PriorityRequest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class PriorityResource:
+    """A capacity-limited resource whose queue is priority-ordered.
+
+    Lower ``priority`` values are more important (simpy convention).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[PriorityRequest] = []
+        self._waiting: List[Tuple[Tuple[int, int], PriorityRequest]] = []
+
+    @property
+    def count(self) -> int:
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: int = 0,
+                preempt: bool = True) -> PriorityRequest:
+        return PriorityRequest(self, priority, preempt)
+
+    def release(self, request: PriorityRequest) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._waiting = [(key, r) for key, r in self._waiting
+                             if r is not request]
+            heapq.heapify(self._waiting)
+
+    def _request(self, request: PriorityRequest) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+            return
+        if not self._try_preempt(request):
+            heapq.heappush(self._waiting, (request.sort_key, request))
+
+    def _try_preempt(self, request: PriorityRequest) -> bool:
+        """Hook for subclasses; the base resource never preempts."""
+        return False
+
+    def _grant(self, request: PriorityRequest) -> None:
+        self.users.append(request)
+        request.granted_at = self.env.now
+        request.succeed()
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            _, nxt = heapq.heappop(self._waiting)
+            self._grant(nxt)
+
+
+class PreemptiveResource(PriorityResource):
+    """A priority resource where important requests evict lesser users."""
+
+    def _try_preempt(self, request: PriorityRequest) -> bool:
+        if not request.preempt or not self.users:
+            return False
+        victim = max(self.users, key=lambda r: r.sort_key)
+        if victim.sort_key <= request.sort_key:
+            return False  # nobody less important than the newcomer
+        self.users.remove(victim)
+        if victim.owner is not None and victim.owner.is_alive:
+            victim.owner.interrupt(
+                Preempted(by=request,
+                          usage_since=victim.granted_at
+                          if victim.granted_at is not None else self.env.now))
+        self._grant(request)
+        return True

@@ -1,0 +1,117 @@
+"""Generator-based processes for the discrete-event kernel.
+
+A process wraps a Python generator. The generator yields
+:class:`~repro.sim.events.Event` objects; the process sleeps until the
+yielded event triggers, then resumes with the event's value (or the event's
+exception thrown in, for failed events). A process is itself an event that
+triggers when the generator returns (success, with the return value) or
+raises (failure).
+
+Interruption — used throughout the scheduler code for preemption — throws
+:class:`~repro.sim.events.Interrupt` into the generator at its current yield
+point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import URGENT, Event, Initialize, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires on completion."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None while it is
+        #: executing or before it starts).
+        self._target: Optional[Event] = Initialize(env, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process({self.name}) at t={self.env.now:.6f}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The interrupted process stops waiting on its current target (the
+        target stays valid and may be re-yielded). Interrupting a finished
+        process is an error; interrupting a process twice before it runs
+        queues both interrupts in order.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is self.env.active_process_target():
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome (kernel internal)."""
+        self.env._active_process = self
+        while True:
+            # Detach from the previous target: if the event that woke us is
+            # not our target (an interrupt), remove ourselves from the
+            # target's callback list so a later trigger does not double-fire.
+            if (self._target is not None and self._target is not event
+                    and self._target.callbacks is not None
+                    and self._resume in self._target.callbacks):
+                self._target.callbacks.remove(self._resume)
+            self._target = None
+
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as error:
+                self._ok = False
+                self._value = error
+                self.env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                self._generator.throw(error)
+                continue
+
+            if next_event.processed:
+                # Already-processed events resume the process without
+                # yielding control back to the event loop.
+                event = next_event
+                continue
+
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+            break
+
+        self.env._active_process = None

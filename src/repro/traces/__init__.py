@@ -1,0 +1,28 @@
+"""Invocation traces and load generation.
+
+* :mod:`~repro.traces.trace` — trace containers and windowed statistics
+  (distinct-function CDFs, Fig. 7).
+* :mod:`~repro.traces.azure` — a synthetic generator calibrated to the
+  statistics the paper quotes from the Azure Functions production traces
+  (burstiness, heavy-tailed popularity, co-location dynamics).
+* :mod:`~repro.traces.poisson` — open-loop Poisson arrivals at target CPU
+  utilisation (the Low/Medium/High loads of Section VII).
+"""
+
+from repro.traces.azure import AzureTraceConfig, generate_azure_trace
+from repro.traces.poisson import (
+    PoissonLoadConfig,
+    generate_poisson_trace,
+    rate_for_utilization,
+)
+from repro.traces.trace import Trace, TraceEvent
+
+__all__ = [
+    "AzureTraceConfig",
+    "PoissonLoadConfig",
+    "Trace",
+    "TraceEvent",
+    "generate_azure_trace",
+    "generate_poisson_trace",
+    "rate_for_utilization",
+]

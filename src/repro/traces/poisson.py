@@ -1,0 +1,74 @@
+"""Open-loop Poisson load generation at target CPU utilisation.
+
+Section VII varies load "using a Poisson distribution to model the request
+inter-arrival time" and generates Low / Medium / High loads at CPU
+utilisations of ~25 / 50 / 70 %. Every request invokes one of the twelve
+benchmarks uniformly at random (Section VIII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.traces.trace import Trace, TraceEvent
+from repro.workloads.applications import Workflow
+
+#: The paper's three load points (CPU utilisation fractions).
+LOAD_LEVELS = {"low": 0.25, "medium": 0.50, "high": 0.70}
+
+
+@dataclass(frozen=True)
+class PoissonLoadConfig:
+    """An open-loop arrival process over a benchmark mix."""
+
+    benchmarks: Sequence[str]
+    rate_rps: float
+    duration_s: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("need at least one benchmark")
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate must be positive: {self.rate_rps}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive: {self.duration_s}")
+
+
+def generate_poisson_trace(config: PoissonLoadConfig) -> Trace:
+    """Exponential inter-arrivals; benchmark drawn uniformly per request."""
+    rng = np.random.default_rng(config.seed)
+    events: List[TraceEvent] = []
+    t = float(rng.exponential(1.0 / config.rate_rps))
+    while t < config.duration_s:
+        benchmark = config.benchmarks[rng.integers(len(config.benchmarks))]
+        events.append(TraceEvent(t, str(benchmark)))
+        t += float(rng.exponential(1.0 / config.rate_rps))
+    return Trace(events, config.duration_s)
+
+
+def expected_core_seconds(workflow: Workflow, freq_ghz: float = 3.0) -> float:
+    """Expected on-core seconds one invocation of ``workflow`` consumes."""
+    return sum(f.run_seconds(freq_ghz) for f in workflow.functions)
+
+
+def rate_for_utilization(workflows: Sequence[Workflow], utilization: float,
+                         total_cores: int, freq_ghz: float = 3.0) -> float:
+    """Request rate (RPS) that drives ``total_cores`` to ``utilization``.
+
+    With requests spread uniformly over the mix, each request consumes the
+    mix's mean core-seconds, so
+    ``rate = utilization · total_cores / mean_core_seconds``.
+    """
+    if not workflows:
+        raise ValueError("need at least one workflow")
+    if not 0 < utilization <= 1:
+        raise ValueError(f"utilization must be in (0, 1]: {utilization}")
+    if total_cores < 1:
+        raise ValueError(f"need at least one core: {total_cores}")
+    mean_core_s = float(np.mean(
+        [expected_core_seconds(wf, freq_ghz) for wf in workflows]))
+    return utilization * total_cores / mean_core_s

@@ -1,0 +1,107 @@
+"""Trace containers and windowed statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class TraceEvent:
+    """One invocation request: arrival time + target benchmark/workflow."""
+
+    time_s: float
+    benchmark: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"negative arrival time {self.time_s}")
+
+
+class Trace:
+    """A time-ordered sequence of invocation requests."""
+
+    def __init__(self, events: Sequence[TraceEvent], duration_s: float):
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        self.events: List[TraceEvent] = sorted(events)
+        self.duration_s = float(duration_s)
+        if self.events and self.events[-1].time_s > self.duration_s:
+            raise ValueError(
+                f"event at {self.events[-1].time_s}s lies beyond the trace"
+                f" duration {self.duration_s}s")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Average requests per second over the trace duration."""
+        return len(self.events) / self.duration_s
+
+    def invocation_counts(self) -> Dict[str, int]:
+        """Total invocations per benchmark."""
+        return dict(Counter(event.benchmark for event in self.events))
+
+    def benchmarks(self) -> List[str]:
+        """Distinct benchmark names, most popular first."""
+        counts = Counter(event.benchmark for event in self.events)
+        return [name for name, _ in counts.most_common()]
+
+    def distinct_per_window(self, window_s: float) -> List[int]:
+        """Distinct benchmarks invoked in each ``window_s`` slice (Fig. 7).
+
+        Windows are back-to-back ``[k·w, (k+1)·w)`` slices covering the
+        trace duration; empty windows count zero distinct functions.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window must be positive: {window_s}")
+        n_windows = max(1, int(self.duration_s // window_s))
+        seen: List[set] = [set() for _ in range(n_windows)]
+        for event in self.events:
+            index = min(int(event.time_s // window_s), n_windows - 1)
+            seen[index].add(event.benchmark)
+        return [len(s) for s in seen]
+
+    def count_per_window(self, window_s: float) -> List[int]:
+        """Total invocations in each window."""
+        if window_s <= 0:
+            raise ValueError(f"window must be positive: {window_s}")
+        n_windows = max(1, int(self.duration_s // window_s))
+        counts = [0] * n_windows
+        for event in self.events:
+            counts[min(int(event.time_s // window_s), n_windows - 1)] += 1
+        return counts
+
+    def restrict_to(self, benchmarks: Sequence[str]) -> "Trace":
+        """A new trace holding only events of the given benchmarks."""
+        keep = set(benchmarks)
+        return Trace([e for e in self.events if e.benchmark in keep],
+                     self.duration_s)
+
+    def rename(self, mapping: Dict[str, str]) -> "Trace":
+        """A new trace with benchmark names substituted via ``mapping``."""
+        return Trace(
+            [TraceEvent(e.time_s, mapping.get(e.benchmark, e.benchmark))
+             for e in self.events],
+            self.duration_s)
+
+    def truncate(self, duration_s: float) -> "Trace":
+        """A new trace holding only events before ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        return Trace([e for e in self.events if e.time_s < duration_s],
+                     min(duration_s, self.duration_s))
+
+
+def cdf(values: Sequence[float]) -> List[tuple]:
+    """Empirical CDF as sorted (value, cumulative fraction) pairs."""
+    if not values:
+        raise ValueError("cannot compute the CDF of nothing")
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]

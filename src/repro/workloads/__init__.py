@@ -1,0 +1,60 @@
+"""Serverless workload models.
+
+Analytic stand-ins for the paper's benchmarks (Table I):
+
+* :mod:`~repro.workloads.spec` — the shape of one invocation: alternating
+  on-core :class:`RunSegment`\\ s and I/O :class:`BlockSegment`\\ s.
+* :mod:`~repro.workloads.inputs` — synthetic input datasets with the
+  high-level features (file size, image resolution, video duration, ...)
+  that drive input-dependent execution time.
+* :mod:`~repro.workloads.model` — :class:`FunctionModel`: per-function
+  timing/energy/frequency-sensitivity parameters and invocation sampling.
+* :mod:`~repro.workloads.functionbench` — the seven standalone
+  FunctionBench functions, calibrated to the paper's characterization.
+* :mod:`~repro.workloads.applications` — the five multi-function
+  applications as workflow DAGs.
+* :mod:`~repro.workloads.registry` — name → model lookup for the twelve
+  evaluated benchmarks.
+"""
+
+from repro.workloads.applications import (
+    APPLICATIONS,
+    Workflow,
+    WorkflowStage,
+)
+from repro.workloads.functionbench import STANDALONE_FUNCTIONS
+from repro.workloads.inputs import InputDataset, SyntheticInputSpace
+from repro.workloads.model import FunctionModel, InputModel
+from repro.workloads.registry import (
+    all_benchmarks,
+    get_application,
+    get_function,
+    workflow_for,
+)
+from repro.workloads.synthetic import (
+    synthesize_function,
+    synthesize_population,
+    synthesize_workflow,
+)
+from repro.workloads.spec import BlockSegment, InvocationSpec, RunSegment
+
+__all__ = [
+    "APPLICATIONS",
+    "BlockSegment",
+    "FunctionModel",
+    "InputDataset",
+    "InputModel",
+    "InvocationSpec",
+    "RunSegment",
+    "STANDALONE_FUNCTIONS",
+    "SyntheticInputSpace",
+    "Workflow",
+    "WorkflowStage",
+    "all_benchmarks",
+    "get_application",
+    "get_function",
+    "synthesize_function",
+    "synthesize_population",
+    "synthesize_workflow",
+    "workflow_for",
+]

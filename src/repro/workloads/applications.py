@@ -1,0 +1,203 @@
+"""Multi-function serverless applications as workflow DAGs (Table I).
+
+A :class:`Workflow` is a sequence of stages; each stage holds one or more
+functions that execute in parallel (the paper's "parallel children" case —
+the stage's latency is the slowest member's). The five applications match
+Table I's function counts:
+
+* ``MLTune`` — hyper-parameter tuning, 6 functions (3 parallel trainers);
+* ``DataAn`` — wage-data analytics, 8 functions (4 parallel partitions);
+* ``eBank``  — account withdrawal, 6 short chained functions;
+* ``eBook``  — hotel reservation, 7 functions (2 parallel lookups);
+* ``VidAn``  — video analysis, 3 chained functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.inputs import (
+    json_space,
+    tabular_space,
+    text_space,
+    video_space,
+)
+from repro.workloads.model import FunctionModel, InputModel
+
+
+@dataclass(frozen=True)
+class WorkflowStage:
+    """A group of functions that run in parallel within a workflow."""
+
+    functions: Tuple[FunctionModel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ValueError("a stage needs at least one function")
+
+    def warm_latency(self, freq_ghz: float) -> float:
+        """The stage finishes with its slowest member."""
+        return max(f.service_seconds(freq_ghz) for f in self.functions)
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """An end-to-end application: sequential stages of parallel functions."""
+
+    name: str
+    stages: Tuple[WorkflowStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a workflow needs at least one stage")
+        names = [f.name for f in self.functions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate function names in {self.name}: {names}")
+
+    @property
+    def functions(self) -> List[FunctionModel]:
+        """All functions, stage order then intra-stage order."""
+        return [f for stage in self.stages for f in stage.functions]
+
+    @property
+    def n_functions(self) -> int:
+        return len(self.functions)
+
+    def function(self, name: str) -> FunctionModel:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"{self.name} has no function {name!r}")
+
+    def stage_of(self, name: str) -> int:
+        """Index of the stage containing function ``name``."""
+        for i, stage in enumerate(self.stages):
+            if any(f.name == name for f in stage.functions):
+                return i
+        raise KeyError(f"{self.name} has no function {name!r}")
+
+    def warm_latency(self, freq_ghz: float) -> float:
+        """Median unloaded end-to-end latency at a uniform frequency."""
+        return sum(stage.warm_latency(freq_ghz) for stage in self.stages)
+
+    def slo_seconds(self, multiple: float = 5.0) -> float:
+        """SLO = multiple × warm latency at top frequency (Section VII)."""
+        if multiple <= 0:
+            raise ValueError(f"SLO multiple must be positive: {multiple}")
+        return multiple * self.warm_latency(3.0)
+
+    @classmethod
+    def single(cls, function: FunctionModel) -> "Workflow":
+        """Wrap a standalone function as a one-stage workflow."""
+        return cls(function.name, (WorkflowStage((function,)),))
+
+
+def _fn(name: str, run_ms: float, compute_fraction: float, block_ms: float,
+        n_blocks: int, cold_ms: float,
+        input_model: Optional[InputModel] = None) -> FunctionModel:
+    """Terse constructor for application-internal functions."""
+    return FunctionModel(
+        name=name,
+        run_seconds_at_max=run_ms / 1000.0,
+        compute_fraction=compute_fraction,
+        block_seconds=block_ms / 1000.0,
+        n_blocks=n_blocks,
+        cold_start_seconds=cold_ms / 1000.0,
+        input_model=input_model)
+
+
+def _scaled(space_factory, feature: str, median: float, exponent: float = 1.0):
+    """An input model: multiplier = (feature / median) ** exponent."""
+    return InputModel(
+        space_factory(),
+        lambda features: (features[feature] / median) ** exponent)
+
+
+def _build_mltune() -> Workflow:
+    """Hyper-parameter tuning (AWS Step Functions sample): prep, three
+    parallel training configurations, evaluation, selection."""
+    train = [
+        _fn(f"MLTune.train{i}", 900.0, 0.85, 120.0, 2, 1200.0,
+            _scaled(text_space, "length_kb", 6.0))
+        for i in range(3)
+    ]
+    return Workflow("MLTune", (
+        WorkflowStage((_fn("MLTune.prep", 40.0, 0.6, 60.0, 2, 400.0,
+                           _scaled(text_space, "length_kb", 6.0, 0.5)),)),
+        WorkflowStage(tuple(train)),
+        WorkflowStage((_fn("MLTune.eval", 120.0, 0.7, 40.0, 1, 600.0),)),
+        WorkflowStage((_fn("MLTune.select", 8.0, 0.5, 20.0, 1, 250.0),)),
+    ))
+
+
+def _build_dataan() -> Workflow:
+    """Wage-data analysis (ServerlessBench): ingest, four parallel
+    partition analyses, aggregate, format, store."""
+    analyze = [
+        _fn(f"DataAn.analyze{i}", 150.0, 0.65, 80.0, 2, 450.0,
+            _scaled(tabular_space, "n_rows_k", 40.0))
+        for i in range(4)
+    ]
+    return Workflow("DataAn", (
+        WorkflowStage((_fn("DataAn.ingest", 30.0, 0.5, 90.0, 2, 350.0,
+                           _scaled(tabular_space, "n_rows_k", 40.0, 0.5)),)),
+        WorkflowStage(tuple(analyze)),
+        WorkflowStage((_fn("DataAn.aggregate", 60.0, 0.6, 30.0, 1, 300.0),)),
+        WorkflowStage((_fn("DataAn.format", 12.0, 0.55, 15.0, 1, 250.0),)),
+        WorkflowStage((_fn("DataAn.store", 6.0, 0.4, 45.0, 1, 250.0),)),
+    ))
+
+
+def _build_ebank() -> Workflow:
+    """Account withdrawal (AWS Samples): six short chained web functions."""
+    return Workflow("eBank", (
+        WorkflowStage((_fn("eBank.auth", 6.0, 0.5, 25.0, 2, 250.0,
+                           _scaled(json_space, "file_kb", 24.0, 0.2)),)),
+        WorkflowStage((_fn("eBank.validate", 4.0, 0.55, 15.0, 1, 220.0),)),
+        WorkflowStage((_fn("eBank.balance", 5.0, 0.5, 30.0, 2, 220.0),)),
+        WorkflowStage((_fn("eBank.withdraw", 7.0, 0.55, 35.0, 2, 250.0),)),
+        WorkflowStage((_fn("eBank.notify", 3.0, 0.45, 20.0, 1, 200.0),)),
+        WorkflowStage((_fn("eBank.log", 2.0, 0.4, 12.0, 1, 200.0),)),
+    ))
+
+
+def _build_ebook() -> Workflow:
+    """Hotel reservation (vSwarm): search, two parallel lookups, book,
+    pay, confirm, email."""
+    return Workflow("eBook", (
+        WorkflowStage((_fn("eBook.search", 12.0, 0.55, 40.0, 2, 300.0,
+                           _scaled(json_space, "n_records", 120.0, 0.4)),)),
+        WorkflowStage((
+            _fn("eBook.availability", 8.0, 0.5, 30.0, 2, 250.0),
+            _fn("eBook.rates", 6.0, 0.5, 25.0, 1, 250.0),
+        )),
+        WorkflowStage((_fn("eBook.book", 10.0, 0.55, 45.0, 2, 280.0),)),
+        WorkflowStage((_fn("eBook.pay", 9.0, 0.6, 50.0, 2, 300.0),)),
+        WorkflowStage((_fn("eBook.confirm", 4.0, 0.5, 15.0, 1, 220.0),)),
+        WorkflowStage((_fn("eBook.email", 3.0, 0.45, 25.0, 1, 220.0),)),
+    ))
+
+
+def _build_vidan() -> Workflow:
+    """Video analysis (vSwarm): decode, detect, summarize."""
+    return Workflow("VidAn", (
+        WorkflowStage((_fn("VidAn.decode", 220.0, 0.7, 120.0, 2, 600.0,
+                           _scaled(video_space, "duration_s", 28.0)),)),
+        WorkflowStage((_fn("VidAn.detect", 400.0, 0.75, 80.0, 1, 1300.0,
+                           _scaled(video_space, "duration_s", 28.0)),)),
+        WorkflowStage((_fn("VidAn.summarize", 30.0, 0.55, 40.0, 1, 300.0),)),
+    ))
+
+
+#: The five evaluated applications, keyed by Table I name.
+APPLICATIONS: Dict[str, Workflow] = {
+    workflow.name: workflow
+    for workflow in (
+        _build_mltune(),
+        _build_dataan(),
+        _build_ebank(),
+        _build_ebook(),
+        _build_vidan(),
+    )
+}

@@ -1,0 +1,66 @@
+"""Lookup of the twelve evaluated benchmarks by name.
+
+The evaluation (Section VII) runs 7 standalone FunctionBench functions and
+5 multi-function applications. The platform layer treats every benchmark as
+a workflow; standalone functions become single-stage workflows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.applications import APPLICATIONS, Workflow
+from repro.workloads.functionbench import STANDALONE_FUNCTIONS
+from repro.workloads.model import FunctionModel
+
+_FUNCTIONS: Dict[str, FunctionModel] = {
+    f.name: f for f in STANDALONE_FUNCTIONS
+}
+for _app in APPLICATIONS.values():
+    for _f in _app.functions:
+        _FUNCTIONS[_f.name] = _f
+
+
+def get_function(name: str) -> FunctionModel:
+    """The model of any known function (standalone or app-internal)."""
+    try:
+        return _FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown function {name!r}; known: {sorted(_FUNCTIONS)}") from None
+
+
+def get_application(name: str) -> Workflow:
+    """One of the five multi-function applications."""
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APPLICATIONS)}"
+        ) from None
+
+
+def workflow_for(name: str) -> Workflow:
+    """Any of the twelve benchmarks, as a workflow.
+
+    Standalone functions are wrapped in single-stage workflows so callers
+    can treat every benchmark uniformly.
+    """
+    if name in APPLICATIONS:
+        return APPLICATIONS[name]
+    for function in STANDALONE_FUNCTIONS:
+        if function.name == name:
+            return Workflow.single(function)
+    raise KeyError(
+        f"unknown benchmark {name!r}; known: {benchmark_names()}")
+
+
+def benchmark_names() -> List[str]:
+    """The twelve benchmark names in Table I order."""
+    return ([f.name for f in STANDALONE_FUNCTIONS]
+            + list(APPLICATIONS.keys()))
+
+
+def all_benchmarks() -> List[Workflow]:
+    """All twelve benchmarks as workflows, in Table I order."""
+    return [workflow_for(name) for name in benchmark_names()]

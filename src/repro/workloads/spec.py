@@ -1,0 +1,86 @@
+"""The shape of a single function invocation.
+
+An invocation alternates *run* segments (on-core work) with *block*
+segments (waiting on RPCs to remote functions or storage). The paper's
+characterization (Section III-3) shows functions commonly idle for ~70 % of
+their invocation time, which is why context-switch-on-idle matters so much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.hardware.work import WorkUnit
+
+
+@dataclass
+class RunSegment:
+    """An on-core execution segment."""
+
+    work: WorkUnit
+
+    def duration(self, freq_ghz: float) -> float:
+        return self.work.duration(freq_ghz)
+
+
+@dataclass
+class BlockSegment:
+    """An off-core wait (RPC to a remote function or storage access)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"negative block duration {self.seconds}")
+
+
+Segment = Union[RunSegment, BlockSegment]
+
+
+@dataclass
+class InvocationSpec:
+    """One concrete invocation: its segments, inputs, and ground truth.
+
+    ``features`` are the high-level input features (what the input-aware
+    predictor sees); the ground-truth totals are what an oracle (the
+    Baseline+PowerCtrl upper bound) predicts with 100 % accuracy.
+    """
+
+    function_name: str
+    segments: List[Segment]
+    features: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("an invocation needs at least one segment")
+        if not isinstance(self.segments[0], RunSegment):
+            raise ValueError("an invocation must start with a run segment")
+
+    @property
+    def run_segments(self) -> List[RunSegment]:
+        return [s for s in self.segments if isinstance(s, RunSegment)]
+
+    @property
+    def block_segments(self) -> List[BlockSegment]:
+        return [s for s in self.segments if isinstance(s, BlockSegment)]
+
+    def total_run_seconds(self, freq_ghz: float) -> float:
+        """Ground-truth total on-core time at ``freq_ghz`` (T_Run)."""
+        return sum(s.duration(freq_ghz) for s in self.run_segments)
+
+    @property
+    def total_block_seconds(self) -> float:
+        """Ground-truth total blocking time (T_Block)."""
+        return sum(s.seconds for s in self.block_segments)
+
+    def service_time(self, freq_ghz: float) -> float:
+        """Unqueued end-to-end time at ``freq_ghz`` (T_Run + T_Block)."""
+        return self.total_run_seconds(freq_ghz) + self.total_block_seconds
+
+    def idle_fraction(self, freq_ghz: float) -> float:
+        """Share of the (unqueued) invocation spent blocked."""
+        service = self.service_time(freq_ghz)
+        if service == 0:
+            return 0.0
+        return self.total_block_seconds / service

@@ -1,0 +1,16 @@
+"""Test-suite configuration: deterministic hypothesis profile.
+
+The simulator itself is fully deterministic per seed; derandomizing
+hypothesis makes the whole suite reproducible run-to-run (important when
+asserting statistical shapes).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

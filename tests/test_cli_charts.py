@@ -1,0 +1,54 @@
+"""Tests for the CLI chart rendering (synthetic results, no simulation)."""
+
+from repro.cli import _chart
+from repro.experiments.common import ExperimentResult
+
+
+def make_fig15_result():
+    result = ExperimentResult("Fig. 15", "freq distribution")
+    for freq, share in ((1.2, 10.0), (1.8, 50.0), (3.0, 40.0)):
+        result.add(freq_ghz=freq, share_pct=share, invocations=int(share))
+    return result
+
+
+def make_fig14_result():
+    result = ExperimentResult("Fig. 14", "freq timeline")
+    for system, freq in (("Baseline", 3.0), ("EcoFaaS", 2.0)):
+        for t in range(5):
+            result.add(system=system, time_s=float(t), avg_freq_ghz=freq)
+        result.add(system=system, time_s=-1.0, avg_freq_ghz=freq)
+    return result
+
+
+def make_norm_result():
+    result = ExperimentResult("Fig. 12", "energy")
+    result.add(benchmark="WebServ", norm_Baseline=1.0, norm_EcoFaaS=0.6)
+    result.add(benchmark="CNNServ", norm_Baseline=1.0, norm_EcoFaaS=0.7)
+    return result
+
+
+def test_fig15_chart_renders_bars(capsys):
+    _chart("fig15", make_fig15_result())
+    out = capsys.readouterr().out
+    assert "1.8GHz" in out
+    assert "█" in out
+
+
+def test_fig14_chart_renders_timelines(capsys):
+    _chart("fig14", make_fig14_result())
+    out = capsys.readouterr().out
+    assert "Baseline" in out and "EcoFaaS" in out
+    assert "[0s..4s]" in out
+
+
+def test_normalized_chart_renders_groups(capsys):
+    _chart("fig12", make_norm_result())
+    out = capsys.readouterr().out
+    assert "WebServ" in out
+    assert "norm_EcoFaaS" in out
+
+
+def test_unknown_key_renders_nothing(capsys):
+    _chart("table1", make_norm_result())
+    out = capsys.readouterr().out
+    assert out.strip() == ""

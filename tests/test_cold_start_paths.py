@@ -1,0 +1,90 @@
+"""Cold-start corner cases across the platform layer."""
+
+import pytest
+
+from repro.baselines import BaselineSystem
+from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+from repro.traces.trace import Trace, TraceEvent
+
+
+def run_trace(system, events, duration, n_servers=1, drain=30.0):
+    env = Environment()
+    cluster = Cluster(env, system,
+                      ClusterConfig(n_servers=n_servers, seed=0,
+                                    drain_s=drain))
+    cluster.run_trace(Trace(events, duration))
+    return cluster
+
+
+class TestConcurrentColdArrivals:
+    def test_simultaneous_requests_share_one_cold_start(self):
+        events = [TraceEvent(0.1, "WebServ") for _ in range(5)]
+        cluster = run_trace(BaselineSystem(), events, 1.0)
+        assert cluster.metrics.completed_workflows() == 5
+        # Only the first request boots the container.
+        assert cluster.metrics.cold_start_count() == 1
+        assert cluster.nodes[0].containers.cold_starts == 1
+
+    def test_waiters_complete_after_container_ready(self):
+        events = [TraceEvent(0.1, "CNNServ") for _ in range(3)]
+        cluster = run_trace(BaselineSystem(), events, 1.0)
+        records = sorted(cluster.metrics.function_records,
+                         key=lambda r: r.latency_s)
+        # The cold-start job is the slowest-to-complete of the batch and
+        # the only one marked cold.
+        assert sum(1 for r in records if r.cold_start) == 1
+        # Warm followers still had to wait for the container.
+        warm = [r for r in records if not r.cold_start]
+        cold_duration = next(r for r in records if r.cold_start).t_run_s
+        assert all(r.latency_s > 0 for r in warm)
+        assert cold_duration > 0
+
+    def test_ecofaas_concurrent_cold_arrivals(self):
+        events = [TraceEvent(0.1, "WebServ") for _ in range(5)]
+        cluster = run_trace(
+            EcoFaaSSystem(EcoFaaSConfig(prewarm=False)), events, 1.0)
+        assert cluster.metrics.completed_workflows() == 5
+        assert cluster.metrics.cold_start_count() == 1
+
+
+class TestKeepAliveExpiry:
+    def test_container_recycles_after_idle_gap(self):
+        # Two requests separated by more than the 60 s keep-alive.
+        events = [TraceEvent(0.1, "WebServ"), TraceEvent(70.0, "WebServ")]
+        cluster = run_trace(BaselineSystem(), events, 80.0)
+        assert cluster.metrics.cold_start_count() == 2
+
+    def test_container_stays_warm_within_keep_alive(self):
+        events = [TraceEvent(0.1, "WebServ"), TraceEvent(30.0, "WebServ")]
+        cluster = run_trace(BaselineSystem(), events, 40.0)
+        assert cluster.metrics.cold_start_count() == 1
+
+    def test_steady_traffic_keeps_container_warm_indefinitely(self):
+        events = [TraceEvent(0.1 + 20.0 * i, "WebServ") for i in range(5)]
+        cluster = run_trace(BaselineSystem(), events, 90.0)
+        assert cluster.metrics.cold_start_count() == 1
+
+
+class TestColdStartLatencyImpact:
+    def test_cold_invocation_is_slower_than_warm(self):
+        events = [TraceEvent(0.1, "CNNServ"), TraceEvent(5.0, "CNNServ")]
+        cluster = run_trace(BaselineSystem(), events, 10.0)
+        records = cluster.metrics.function_records
+        cold = next(r for r in records if r.cold_start)
+        warm = next(r for r in records if not r.cold_start)
+        assert cold.latency_s > warm.latency_s + 0.5 * 1.5  # ~cold cost
+
+    def test_ecofaas_prewarm_moves_cold_start_off_app_critical_path(self):
+        # Two eBook requests far apart: without prewarm the second one's
+        # stages are warm anyway; the FIRST one benefits from prewarming
+        # of stages >= 1 while stage 0 executes.
+        events = [TraceEvent(0.1, "eBook")]
+
+        def first_latency(prewarm):
+            cluster = run_trace(
+                EcoFaaSSystem(EcoFaaSConfig(prewarm=prewarm)), events, 1.0)
+            return cluster.metrics.workflow_records[0].latency_s
+
+        assert first_latency(True) < first_latency(False)

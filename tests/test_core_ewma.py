@@ -1,0 +1,151 @@
+"""Tests for adaptive EWMA and the History Table."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ewma import AdaptiveEwma
+from repro.core.history import HistoryRow, HistoryTable
+
+
+class TestAdaptiveEwma:
+    def test_first_value_becomes_level(self):
+        ewma = AdaptiveEwma()
+        ewma.update(5.0)
+        assert ewma.forecast() == 5.0
+        assert ewma.initialized
+        assert ewma.count == 1
+
+    def test_forecast_before_data_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaptiveEwma().forecast()
+
+    def test_forecast_or_default(self):
+        ewma = AdaptiveEwma()
+        assert ewma.forecast_or(3.0) == 3.0
+        ewma.update(7.0)
+        assert ewma.forecast_or(3.0) == 7.0
+
+    def test_converges_to_constant_signal(self):
+        ewma = AdaptiveEwma()
+        for _ in range(100):
+            ewma.update(10.0)
+        assert ewma.forecast() == pytest.approx(10.0, rel=1e-6)
+
+    def test_tracks_level_shift(self):
+        ewma = AdaptiveEwma()
+        for _ in range(50):
+            ewma.update(1.0)
+        for _ in range(50):
+            ewma.update(5.0)
+        assert ewma.forecast() == pytest.approx(5.0, rel=0.1)
+
+    def test_follows_linear_trend(self):
+        # Holt smoothing should anticipate the next point of a ramp.
+        ewma = AdaptiveEwma(beta=0.2)
+        for i in range(200):
+            ewma.update(float(i))
+        assert ewma.forecast() > 190.0
+
+    def test_adaptive_alpha_rises_during_regime_change(self):
+        ewma = AdaptiveEwma()
+        for _ in range(50):
+            ewma.update(1.0)
+        settled_alpha = ewma.alpha
+        for _ in range(10):
+            ewma.update(100.0)
+        assert ewma.alpha > settled_alpha
+
+    def test_alpha_stays_within_bounds(self):
+        ewma = AdaptiveEwma(alpha_bounds=(0.1, 0.4))
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            ewma.update(float(rng.normal(10, 5)))
+            assert 0.1 <= ewma.alpha <= 0.4
+
+    def test_noisy_signal_forecast_near_mean(self):
+        ewma = AdaptiveEwma()
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            ewma.update(float(rng.normal(10.0, 1.0)))
+        assert ewma.forecast() == pytest.approx(10.0, abs=1.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveEwma(alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveEwma(beta=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveEwma(tracking_gamma=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveEwma(alpha_bounds=(0.5, 0.1))
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0),
+                    min_size=2, max_size=50))
+    def test_forecast_is_finite_for_any_positive_series(self, values):
+        ewma = AdaptiveEwma()
+        for value in values:
+            ewma.update(value)
+        assert np.isfinite(ewma.forecast())
+
+
+class TestHistoryTable:
+    def test_capacity_bounds_rows(self):
+        table = HistoryTable(capacity=3)
+        for i in range(5):
+            table.record(3.0, float(i), 0.0, 0.0)
+        assert len(table) == 3
+        assert [row.t_run_s for row in table.rows] == [2.0, 3.0, 4.0]
+
+    def test_default_capacity_is_paper_value(self):
+        assert HistoryTable().capacity == 100
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryTable(capacity=0)
+
+    def test_record_validation(self):
+        table = HistoryTable()
+        with pytest.raises(ValueError):
+            table.record(0.0, 1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            table.record(3.0, -1.0, 0.0, 0.0)
+
+    def test_grouping_by_frequency(self):
+        table = HistoryTable()
+        table.record(3.0, 0.1, 0.02, 1.0)
+        table.record(1.2, 0.25, 0.02, 0.5)
+        table.record(3.0, 0.11, 0.03, 1.1)
+        runs = table.runs_by_frequency()
+        assert runs[3.0] == [0.1, 0.11]
+        assert runs[1.2] == [0.25]
+        energy = table.energy_by_frequency()
+        assert energy[3.0] == [1.0, 1.1]
+        assert table.block_samples() == [0.02, 0.02, 0.03]
+
+    def test_feature_rows_normalise_to_top_frequency(self):
+        table = HistoryTable()
+        table.record(1.5, 0.2, 0.0, 0.0, {"x": 1.0})
+        rows = table.feature_rows()
+        assert rows[0][0] == {"x": 1.0}
+        assert rows[0][1] == pytest.approx(0.3)  # 0.2 * 1.5
+
+    def test_save_and_restore_roundtrip(self):
+        table = HistoryTable(capacity=10)
+        table.record(3.0, 0.1, 0.02, 1.0, {"x": 2.0})
+        saved = table.save()
+        restored = HistoryTable.restore(saved, capacity=10)
+        assert restored.rows == table.rows
+
+    def test_rows_returns_copy(self):
+        table = HistoryTable()
+        table.record(3.0, 0.1, 0.0, 0.0)
+        rows = table.rows
+        rows.clear()
+        assert len(table) == 1
+
+    def test_history_row_is_immutable(self):
+        row = HistoryRow(3.0, 0.1, 0.0, 1.0, {})
+        with pytest.raises(AttributeError):
+            row.t_run_s = 5.0

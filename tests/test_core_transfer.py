@@ -1,0 +1,92 @@
+"""Tests for transfer learning across server types (Section VI-E3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.transfer import TransferModel, transfer_profiles
+from repro.hardware.frequency import FrequencyScale
+from repro.workloads.functionbench import STANDALONE_FUNCTIONS
+
+
+def machine_profiles(speed_factor, noise_sigma=0.01, seed=0):
+    """Per-function {freq -> exec time} on a machine scaled by a factor.
+
+    Models a related microarchitecture (Broadwell/Skylake vs Haswell):
+    same workloads, proportionally different cycle times.
+    """
+    rng = np.random.default_rng(seed)
+    profiles = {}
+    for fn in STANDALONE_FUNCTIONS:
+        profiles[fn.name] = {
+            level: fn.run_seconds(level) * speed_factor
+            * float(np.exp(rng.normal(0, noise_sigma)))
+            for level in FrequencyScale()
+        }
+    return profiles
+
+
+class TestTransferModel:
+    def test_fit_recovers_linear_map(self):
+        source = [1.0, 2.0, 3.0, 4.0]
+        target = [2.1, 4.1, 6.1, 8.1]  # 2x + 0.1
+        model = TransferModel.fit(source, target)
+        assert model.slope == pytest.approx(2.0, abs=1e-6)
+        assert model.intercept == pytest.approx(0.1, abs=1e-6)
+        assert model.r2 == pytest.approx(1.0, abs=1e-9)
+        assert model.n_train == 4
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            TransferModel.fit([1.0], [2.0])
+        with pytest.raises(ValueError):
+            TransferModel.fit([1.0, 2.0], [1.0])
+
+    def test_predict(self):
+        model = TransferModel(slope=2.0, intercept=1.0)
+        assert model.predict(3.0) == 7.0
+        assert list(model.predict_many([0.0, 1.0])) == [1.0, 3.0]
+
+    def test_accuracy_metric(self):
+        model = TransferModel(slope=1.0, intercept=0.0)
+        assert model.accuracy([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+        assert model.accuracy([1.0], [2.0]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            model.accuracy([1.0], [0.0])
+
+
+class TestTransferProfiles:
+    def test_quarter_of_samples_reaches_paper_accuracy(self):
+        """Section VI-E3: with 1/4 of the target-machine samples the
+        transferred profiles reach ~93% accuracy."""
+        haswell = machine_profiles(1.0)
+        skylake_full = machine_profiles(0.8, seed=1)
+        subset_functions = [f.name for f in STANDALONE_FUNCTIONS[:2]]
+        subset = {fn: skylake_full[fn] for fn in subset_functions}
+        model, predicted = transfer_profiles(haswell, subset)
+        held_out = [f.name for f in STANDALONE_FUNCTIONS[2:]]
+        source_vals, target_vals = [], []
+        for fn in held_out:
+            for level, value in skylake_full[fn].items():
+                source_vals.append(haswell[fn][level])
+                target_vals.append(value)
+        accuracy = model.accuracy(source_vals, target_vals)
+        assert accuracy > 0.90
+
+    def test_predicted_covers_all_source_functions(self):
+        haswell = machine_profiles(1.0)
+        subset = {"WebServ": machine_profiles(0.9, seed=2)["WebServ"]}
+        subset["ImgProc"] = machine_profiles(0.9, seed=2)["ImgProc"]
+        _, predicted = transfer_profiles(haswell, subset)
+        assert set(predicted) == set(haswell)
+        for fn, freqs in predicted.items():
+            assert set(freqs) == set(haswell[fn])
+
+    def test_unknown_function_on_target_rejected(self):
+        haswell = machine_profiles(1.0)
+        with pytest.raises(KeyError):
+            transfer_profiles(haswell, {"ghost": {3.0: 0.1, 1.2: 0.2}})
+
+    def test_unknown_frequency_rejected(self):
+        haswell = machine_profiles(1.0)
+        with pytest.raises(KeyError):
+            transfer_profiles(haswell, {"WebServ": {9.9: 0.1, 1.2: 0.2}})

@@ -1,0 +1,106 @@
+"""Tests for the experiment infrastructure (fast paths only)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    MicroRun,
+    make_azure_benchmark_trace,
+    make_load_trace,
+    make_systems,
+    measure_unloaded,
+)
+from repro.workloads.functionbench import CNN_SERV, WEB_SERV
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        result = ExperimentResult("T", "test")
+        result.add(a=1, b="x")
+        result.add(a=2, b="y")
+        assert result.column("a") == [1, 2]
+
+    def test_row_for(self):
+        result = ExperimentResult("T", "test")
+        result.add(a=1, b="x")
+        result.add(a=2, b="y")
+        assert result.row_for(a=2)["b"] == "y"
+        with pytest.raises(KeyError):
+            result.row_for(a=3)
+
+    def test_format_table_contains_all_cells(self):
+        result = ExperimentResult("T", "test description")
+        result.add(metric="energy", value=1.234)
+        result.note("a note")
+        text = result.format_table()
+        assert "T: test description" in text
+        assert "energy" in text
+        assert "1.234" in text
+        assert "note: a note" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in ExperimentResult("E", "empty").format_table()
+
+
+class TestFactories:
+    def test_make_systems_has_all_three(self):
+        systems = make_systems()
+        assert set(systems) == {"Baseline", "Baseline+PowerCtrl", "EcoFaaS"}
+
+    def test_make_load_trace_levels(self):
+        low = make_load_trace("low", 2, 10.0)
+        high = make_load_trace("high", 2, 10.0)
+        assert high.mean_rate_rps > 2 * low.mean_rate_rps
+
+    def test_make_load_trace_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            make_load_trace("extreme", 2, 10.0)
+
+    def test_azure_benchmark_trace_uses_benchmark_names(self):
+        trace = make_azure_benchmark_trace(30.0, seed=0)
+        from repro.workloads.registry import benchmark_names
+        assert set(trace.invocation_counts()) <= set(benchmark_names())
+
+
+class TestMeasureUnloaded:
+    def test_returns_consistent_microrun(self):
+        run = measure_unloaded(WEB_SERV, 3.0, n_invocations=5, seed=0)
+        assert isinstance(run, MicroRun)
+        assert run.service_s > run.run_s > 0
+        assert run.energy_j > 0
+
+    def test_service_time_near_model(self):
+        run = measure_unloaded(CNN_SERV, 3.0, n_invocations=30, seed=0)
+        assert run.service_s == pytest.approx(
+            CNN_SERV.service_seconds(3.0), rel=0.25)
+
+    def test_lower_frequency_is_slower_and_cheaper(self):
+        fast = measure_unloaded(CNN_SERV, 3.0, n_invocations=10, seed=0)
+        slow = measure_unloaded(CNN_SERV, 1.2, n_invocations=10, seed=0)
+        assert slow.service_s > fast.service_s
+        assert slow.energy_j < fast.energy_j
+
+    def test_mem_multiplier_slows_execution(self):
+        base = measure_unloaded(CNN_SERV, 3.0, n_invocations=10, seed=0)
+        throttled = measure_unloaded(CNN_SERV, 3.0, n_invocations=10,
+                                     seed=0, mem_time_multiplier=2.0)
+        assert throttled.service_s > base.service_s
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+        assert main(["nonsense"]) == 2
+
+    def test_run_table1(self, capsys):
+        from repro.cli import main
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "completed in" in out

@@ -1,0 +1,153 @@
+"""Tests for heterogeneous-server support (Section VI-E3 integrated)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.core.profiles import ProfileStore
+from repro.hardware.core import Core
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.frequency import FrequencyScale
+from repro.hardware.power import PowerModel
+from repro.hardware.server import Server
+from repro.hardware.work import WorkUnit
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
+from repro.workloads.functionbench import CNN_SERV, WEB_SERV
+
+
+class TestIpcFactor:
+    def test_faster_machine_finishes_sooner_at_same_clock(self):
+        env = Environment()
+        meter = EnergyMeter()
+        power = PowerModel()
+        done = {}
+        for label, ipc in (("haswell", 1.0), ("skylake", 1.25)):
+            core = Core(env, 0, power, meter, 3.0, ipc_factor=ipc)
+            core.start(WorkUnit(gcycles=3.0), "f",
+                       on_complete=lambda c, l=label: done.setdefault(
+                           l, env.now))
+        env.run()
+        assert done["skylake"] == pytest.approx(1.0 / 1.25)
+        assert done["haswell"] == pytest.approx(1.0)
+
+    def test_power_follows_nominal_frequency_not_ipc(self):
+        env = Environment()
+        meter = EnergyMeter()
+        power = PowerModel()
+        core = Core(env, 0, power, meter, 3.0, ipc_factor=1.25)
+        core.start(WorkUnit(gcycles=3.0), "f", lambda c: None)
+        env.run()
+        core.finalize()
+        # Runs for 0.8s at the 3.0 GHz power level.
+        assert meter.component_j("core_active") == pytest.approx(
+            power.core_active_power(3.0) * 0.8)
+
+    def test_invalid_ipc_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Core(env, 0, PowerModel(), EnergyMeter(), 3.0, ipc_factor=0.0)
+
+    def test_server_threads_machine_type(self):
+        env = Environment()
+        server = Server(env, machine_type="skylake", ipc_factor=1.25,
+                        n_cores=2)
+        assert server.machine_type == "skylake"
+        assert all(c.ipc_factor == 1.25 for c in server.cores)
+
+    def test_cluster_machine_mix_cycles(self):
+        env = Environment()
+        cluster = Cluster(env, EcoFaaSSystem(), ClusterConfig(
+            n_servers=3, seed=0,
+            machine_mix=(("haswell", 1.0), ("skylake", 1.25))))
+        types = [s.machine_type for s in cluster.servers]
+        assert types == ["haswell", "skylake", "haswell"]
+
+
+class TestProfileStoreBridging:
+    def make_store(self):
+        return ProfileStore(FrequencyScale(), PowerModel(),
+                            EcoFaaSConfig(), seed=0)
+
+    def fill(self, store, fn, mtype, t_run, n=5):
+        profile = store.profile(fn, mtype)
+        for _ in range(n):
+            profile.observe(3.0, t_run, fn.block_seconds, 1.0)
+            store.note_observation()
+
+    def test_per_type_profiles_are_independent(self):
+        store = self.make_store()
+        self.fill(store, WEB_SERV, "haswell", 0.005)
+        self.fill(store, WEB_SERV, "skylake", 0.004)
+        assert store.predict_t_run("WebServ", "haswell", 3.0) == \
+            pytest.approx(0.005, rel=0.05)
+        assert store.predict_t_run("WebServ", "skylake", 3.0) == \
+            pytest.approx(0.004, rel=0.05)
+
+    def test_unprofiled_type_bridges_from_profiled_one(self):
+        store = self.make_store()
+        # Two functions measured on both machines establish the ratio...
+        self.fill(store, WEB_SERV, "haswell", 0.005)
+        self.fill(store, WEB_SERV, "skylake", 0.004)
+        self.fill(store, CNN_SERV, "haswell", 0.200)
+        self.fill(store, CNN_SERV, "skylake", 0.160)
+        # ... so a third function profiled only on haswell is ready on
+        # skylake through the bridge, scaled by ~0.8.
+        from repro.workloads.functionbench import LR_SERV
+        self.fill(store, LR_SERV, "haswell", 0.015)
+        assert store.ready("LRServ", "skylake")
+        bridged = store.predict_t_run("LRServ", "skylake", 3.0)
+        assert bridged == pytest.approx(0.015 * 0.8, rel=0.15)
+
+    def test_bridge_falls_back_to_identity_without_common_functions(self):
+        store = self.make_store()
+        self.fill(store, WEB_SERV, "haswell", 0.005)
+        assert store.ready("WebServ", "skylake")  # bridged
+        assert store.predict_t_run("WebServ", "skylake", 3.0) == \
+            pytest.approx(0.005, rel=0.1)
+
+    def test_unknown_function_raises(self):
+        store = self.make_store()
+        with pytest.raises(KeyError):
+            store.predict_t_run("ghost", "haswell", 3.0)
+        with pytest.raises(KeyError):
+            store.profile_by_name("ghost")
+
+    def test_profile_by_name_prefers_best_observed(self):
+        store = self.make_store()
+        self.fill(store, WEB_SERV, "skylake", 0.004, n=20)
+        self.fill(store, WEB_SERV, "haswell", 0.005, n=3)
+        best = store.profile_by_name("WebServ")
+        assert best.predict_t_run(3.0) == pytest.approx(0.004, rel=0.1)
+
+
+class TestHeterogeneousEndToEnd:
+    def test_mixed_cluster_runs_and_saves_energy(self):
+        trace = generate_poisson_trace(PoissonLoadConfig(
+            ["CNNServ", "WebServ"], rate_rps=25.0, duration_s=15.0,
+            seed=1))
+        env = Environment()
+        cluster = Cluster(env, EcoFaaSSystem(), ClusterConfig(
+            n_servers=2, seed=0, drain_s=30.0,
+            machine_mix=(("haswell", 1.0), ("skylake", 1.25))))
+        cluster.run_trace(trace)
+        metrics = cluster.metrics
+        assert metrics.completed_workflows() == len(trace)
+        histogram = metrics.frequency_histogram()
+        assert min(histogram) < 3.0  # sub-max frequencies in use
+
+    def test_faster_machines_lower_latency_for_same_work(self):
+        def mean_latency(mix):
+            trace = generate_poisson_trace(PoissonLoadConfig(
+                ["MLTrain"], rate_rps=4.0, duration_s=15.0, seed=2))
+            env = Environment()
+            from repro.baselines import BaselineSystem
+            cluster = Cluster(env, BaselineSystem(), ClusterConfig(
+                n_servers=1, seed=0, drain_s=40.0, machine_mix=mix))
+            cluster.run_trace(trace)
+            return cluster.metrics.latency_avg()
+
+        slow = mean_latency((("haswell", 1.0),))
+        fast = mean_latency((("skylake", 1.3),))
+        assert fast < slow

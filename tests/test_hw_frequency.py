@@ -1,0 +1,150 @@
+"""Tests for frequency scales and DVFS cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.frequency import (
+    HASWELL_LEVELS_GHZ,
+    DvfsCostModel,
+    FrequencyScale,
+)
+
+
+class TestFrequencyScale:
+    def test_default_matches_paper_platform(self):
+        scale = FrequencyScale()
+        assert scale.levels == (1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0)
+        assert len(scale) == 7
+        assert scale.min == 1.2
+        assert scale.max == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrequencyScale(())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FrequencyScale((2.0, 1.0))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            FrequencyScale((1.0, 1.0, 2.0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FrequencyScale((0.0, 1.0))
+
+    def test_contains(self):
+        scale = FrequencyScale()
+        assert 1.8 in scale
+        assert 1.85 not in scale
+
+    def test_index_of_level(self):
+        scale = FrequencyScale()
+        assert scale.index(1.2) == 0
+        assert scale.index(3.0) == 6
+
+    def test_index_of_foreign_value_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyScale().index(2.0)
+
+    def test_ceil_picks_equal_or_next_higher(self):
+        scale = FrequencyScale()
+        assert scale.ceil(1.8) == 1.8
+        assert scale.ceil(1.9) == 2.1
+        assert scale.ceil(0.5) == 1.2
+
+    def test_ceil_clamps_above_top(self):
+        assert FrequencyScale().ceil(3.5) == 3.0
+
+    def test_floor(self):
+        scale = FrequencyScale()
+        assert scale.floor(1.9) == 1.8
+        assert scale.floor(1.8) == 1.8
+        assert scale.floor(0.5) == 1.2
+
+    def test_next_higher_and_lower(self):
+        scale = FrequencyScale()
+        assert scale.next_higher(1.2) == 1.5
+        assert scale.next_higher(3.0) is None
+        assert scale.next_lower(1.5) == 1.2
+        assert scale.next_lower(1.2) is None
+
+    def test_at_or_above(self):
+        scale = FrequencyScale()
+        assert scale.at_or_above(2.4) == (2.4, 2.7, 3.0)
+        assert scale.at_or_above(3.1) == ()
+
+    def test_from_granularity_300mhz_recovers_default(self):
+        scale = FrequencyScale.from_granularity(300)
+        assert scale.levels == HASWELL_LEVELS_GHZ
+
+    def test_from_granularity_600mhz(self):
+        scale = FrequencyScale.from_granularity(600)
+        assert scale.levels == (1.2, 1.8, 2.4, 3.0)
+
+    def test_from_granularity_50mhz_has_37_levels(self):
+        scale = FrequencyScale.from_granularity(50)
+        assert len(scale) == 37
+        assert scale.min == 1.2 and scale.max == 3.0
+
+    def test_from_granularity_includes_top_even_if_step_does_not_divide(self):
+        scale = FrequencyScale.from_granularity(700)
+        assert scale.max == 3.0
+
+    def test_from_granularity_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FrequencyScale.from_granularity(0)
+        with pytest.raises(ValueError):
+            FrequencyScale.from_granularity(100, lo_mhz=3000, hi_mhz=1200)
+
+    @given(st.floats(min_value=0.1, max_value=4.0))
+    def test_ceil_is_a_level_at_or_above_clamped(self, freq):
+        scale = FrequencyScale()
+        level = scale.ceil(freq)
+        assert level in scale
+        if freq <= scale.max:
+            assert level >= freq - 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=4.0))
+    def test_floor_is_a_level_at_or_below_clamped(self, freq):
+        scale = FrequencyScale()
+        level = scale.floor(freq)
+        assert level in scale
+        if freq >= scale.min:
+            assert level <= freq + 1e-9
+
+
+class TestDvfsCostModel:
+    def test_kernel_cost_is_tens_of_microseconds(self):
+        assert 10e-6 <= DvfsCostModel().kernel_cost() <= 100e-6
+
+    def test_sandbox_cost_without_rng_is_range_midpoint(self):
+        model = DvfsCostModel()
+        assert model.sandbox_cost() == pytest.approx(15e-3)
+
+    def test_sandbox_cost_with_rng_stays_in_range(self):
+        model = DvfsCostModel(rng=np.random.default_rng(0))
+        for _ in range(100):
+            assert 10e-3 <= model.sandbox_cost() <= 20e-3
+
+    def test_sandbox_contention_adds_cost(self):
+        model = DvfsCostModel()
+        assert model.sandbox_cost(concurrent_switchers=5) == pytest.approx(
+            15e-3 + 5 * 2e-3)
+
+    def test_sandbox_cost_dwarfs_kernel_cost(self):
+        # The asymmetry at the heart of the paper (Section III-4): the
+        # sandboxed path is ~1000x the hardware path.
+        model = DvfsCostModel()
+        assert model.sandbox_cost() > 100 * model.kernel_cost()
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsCostModel(sandbox_switch_range_s=(0.02, 0.01))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsCostModel(kernel_switch_s=-1.0)

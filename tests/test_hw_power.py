@@ -1,0 +1,131 @@
+"""Tests for the analytic power model and throttling penalties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.cache import ResourceThrottleModel
+from repro.hardware.power import PowerModel
+
+
+class TestPowerModel:
+    def test_active_power_grows_cubically(self):
+        power = PowerModel()
+        p12 = power.core_active_power(1.2)
+        p30 = power.core_active_power(3.0)
+        dynamic_ratio = (p30 - power.core_static_w) / (p12 - power.core_static_w)
+        assert dynamic_ratio == pytest.approx((3.0 / 1.2) ** 3)
+
+    def test_socket_peak_power_near_tdp(self):
+        # Calibration: one fully loaded 10-core socket at 3 GHz should land
+        # near the E5-2660 v3 105 W TDP.
+        power = PowerModel()
+        socket_w = (10 * power.core_active_power(3.0)
+                    + power.uncore_w_per_socket)
+        assert 85.0 <= socket_w <= 115.0
+
+    def test_idle_power_well_below_active(self):
+        power = PowerModel()
+        assert power.core_idle_power() < power.core_active_power(1.2) / 2
+
+    def test_background_power_covers_both_sockets(self):
+        power = PowerModel()
+        assert power.background_power() == pytest.approx(
+            2 * 18.0 + 8.0)
+
+    def test_low_frequency_active_power_is_much_lower(self):
+        # The energy-saving headroom the whole paper exploits.
+        power = PowerModel()
+        assert (power.core_active_power(1.2)
+                < 0.35 * power.core_active_power(3.0))
+
+    def test_server_power_snapshot(self):
+        power = PowerModel()
+        freqs = [3.0, 1.2]
+        flags = [True, False]
+        expected = (power.core_active_power(3.0) + power.core_idle_power()
+                    + power.background_power() + power.dram_active_power(1))
+        assert power.server_power(freqs, flags) == pytest.approx(expected)
+
+    def test_server_power_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            PowerModel().server_power([3.0], [True, False])
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_static_w=-1.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().core_active_power(0.0)
+
+    def test_negative_busy_cores_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().dram_active_power(-1)
+
+    @given(st.floats(min_value=0.5, max_value=2.9), st.floats(min_value=0.05, max_value=1.0))
+    def test_active_power_monotonic_in_frequency(self, freq, delta):
+        power = PowerModel()
+        assert power.core_active_power(freq + delta) > power.core_active_power(freq)
+
+    @given(st.floats(min_value=1.2, max_value=2.7))
+    def test_energy_per_fixed_compute_decreases_at_lower_freq(self, freq):
+        """For compute-bound work, E = P(f) * C/f must shrink as f shrinks —
+        otherwise no frequency scaling would ever save energy and the paper's
+        premise would not hold in our model."""
+        power = PowerModel()
+        gcycles = 3.0
+        e_lo = power.core_active_power(freq) * (gcycles / freq)
+        e_hi = power.core_active_power(3.0) * (gcycles / 3.0)
+        assert e_lo < e_hi
+
+
+class TestResourceThrottleModel:
+    def test_full_allocation_is_penalty_free(self):
+        model = ResourceThrottleModel()
+        assert model.llc_penalty(16) == 0.0
+        assert model.bw_penalty(1.0) == 0.0
+        assert model.memory_time_multiplier(16, 1.0, 1.0, 1.0) == 1.0
+
+    def test_minimum_allocation_is_full_penalty(self):
+        model = ResourceThrottleModel()
+        assert model.llc_penalty(2) == pytest.approx(1.0)
+        assert model.bw_penalty(0.1) == pytest.approx(1.0)
+
+    def test_paper_operating_points(self):
+        # 4 ways and 20% bandwidth sit at moderate penalty (the paper's
+        # observation that functions tolerate these cuts).
+        model = ResourceThrottleModel()
+        assert 0.3 < model.llc_penalty(4) < 0.6
+        assert 0.3 < model.bw_penalty(0.2) < 0.6
+
+    def test_penalties_monotonic(self):
+        model = ResourceThrottleModel()
+        penalties = [model.llc_penalty(w) for w in range(2, 17)]
+        assert penalties == sorted(penalties, reverse=True)
+        bw_penalties = [model.bw_penalty(b / 10) for b in range(1, 11)]
+        assert bw_penalties == sorted(bw_penalties, reverse=True)
+
+    def test_multiplier_scales_with_sensitivity(self):
+        model = ResourceThrottleModel()
+        insensitive = model.memory_time_multiplier(4, 0.2, 0.0, 0.0)
+        sensitive = model.memory_time_multiplier(4, 0.2, 0.5, 0.5)
+        assert insensitive == 1.0
+        assert sensitive > 1.0
+
+    def test_out_of_range_inputs_rejected(self):
+        model = ResourceThrottleModel()
+        with pytest.raises(ValueError):
+            model.llc_penalty(1)
+        with pytest.raises(ValueError):
+            model.llc_penalty(17)
+        with pytest.raises(ValueError):
+            model.bw_penalty(0.05)
+        with pytest.raises(ValueError):
+            model.memory_time_multiplier(4, 0.5, 1.5, 0.0)
+
+    def test_invalid_model_config_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceThrottleModel(max_llc_ways=2, min_llc_ways=2)
+        with pytest.raises(ValueError):
+            ResourceThrottleModel(min_bw_fraction=0.0)

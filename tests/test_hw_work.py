@@ -1,0 +1,141 @@
+"""Tests for the two-component work model, incl. conservation properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.work import WorkUnit
+
+
+class TestWorkUnit:
+    def test_duration_combines_compute_and_memory(self):
+        work = WorkUnit(gcycles=3.0, mem_seconds=0.5)
+        assert work.duration(3.0) == pytest.approx(1.0 + 0.5)
+        assert work.duration(1.5) == pytest.approx(2.0 + 0.5)
+
+    def test_compute_bound_scales_inversely_with_frequency(self):
+        work = WorkUnit(gcycles=6.0, mem_seconds=0.0)
+        assert work.duration(1.2) / work.duration(3.0) == pytest.approx(2.5)
+
+    def test_memory_bound_is_frequency_insensitive(self):
+        work = WorkUnit(gcycles=0.0, mem_seconds=1.0)
+        assert work.duration(1.2) == work.duration(3.0) == 1.0
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            WorkUnit(gcycles=-1.0)
+        with pytest.raises(ValueError):
+            WorkUnit(gcycles=1.0, mem_seconds=-0.1)
+
+    def test_duration_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            WorkUnit(1.0).duration(0.0)
+
+    def test_consume_full_duration_finishes(self):
+        work = WorkUnit(gcycles=2.0, mem_seconds=1.0)
+        work.consume(2.0, work.duration(2.0))
+        assert work.done
+
+    def test_consume_half_leaves_half(self):
+        work = WorkUnit(gcycles=2.0, mem_seconds=1.0)
+        total = work.duration(2.0)
+        work.consume(2.0, total / 2)
+        assert work.gcycles == pytest.approx(1.0)
+        assert work.mem_seconds == pytest.approx(0.5)
+        assert work.duration(2.0) == pytest.approx(total / 2)
+
+    def test_consume_more_than_remaining_raises(self):
+        work = WorkUnit(gcycles=1.0)
+        with pytest.raises(ValueError):
+            work.consume(1.0, 2.0)
+
+    def test_consume_negative_raises(self):
+        with pytest.raises(ValueError):
+            WorkUnit(1.0).consume(1.0, -0.5)
+
+    def test_consume_zero_is_noop(self):
+        work = WorkUnit(gcycles=1.0, mem_seconds=0.5)
+        work.consume(2.0, 0.0)
+        assert work.gcycles == 1.0 and work.mem_seconds == 0.5
+
+    def test_copy_is_independent(self):
+        template = WorkUnit(gcycles=1.0, mem_seconds=0.5)
+        clone = template.copy()
+        clone.consume(1.0, 0.5)
+        assert template.gcycles == 1.0
+
+    def test_from_profile_roundtrips_duration(self):
+        work = WorkUnit.from_profile(
+            seconds_at_max=0.1, compute_fraction=0.7, max_freq_ghz=3.0)
+        assert work.duration(3.0) == pytest.approx(0.1)
+        # At half frequency the compute part doubles, the memory part stays.
+        assert work.duration(1.5) == pytest.approx(0.07 * 2 + 0.03)
+
+    def test_from_profile_validates_fraction(self):
+        with pytest.raises(ValueError):
+            WorkUnit.from_profile(0.1, 1.5, 3.0)
+        with pytest.raises(ValueError):
+            WorkUnit.from_profile(-0.1, 0.5, 3.0)
+
+
+# ---------------------------------------------------------------------------
+# Properties: consumption conserves work regardless of how the execution is
+# chopped into slices or which frequencies the slices run at.
+# ---------------------------------------------------------------------------
+frequencies = st.floats(min_value=0.5, max_value=4.0)
+fractions = st.lists(
+    st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=6)
+
+
+@given(
+    gcycles=st.floats(min_value=0.0, max_value=100.0),
+    mem=st.floats(min_value=0.0, max_value=10.0),
+    freq=frequencies,
+    slice_fractions=fractions,
+)
+def test_piecewise_consumption_sums_to_total_duration(
+        gcycles, mem, freq, slice_fractions):
+    """Consuming in arbitrary slices at one frequency takes exactly as long
+    as running to completion in one go."""
+    work = WorkUnit(gcycles, mem)
+    total = work.duration(freq)
+    elapsed = 0.0
+    for fraction in slice_fractions:
+        chunk = work.duration(freq) * fraction
+        work.consume(freq, chunk)
+        elapsed += chunk
+    elapsed += work.duration(freq)
+    work.consume(freq, work.duration(freq))
+    assert work.done
+    assert elapsed == pytest.approx(total, rel=1e-9)
+
+
+@given(
+    gcycles=st.floats(min_value=0.1, max_value=100.0),
+    mem=st.floats(min_value=0.0, max_value=10.0),
+    f1=frequencies,
+    f2=frequencies,
+    fraction=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_frequency_change_midway_preserves_component_ratio(
+        gcycles, mem, f1, f2, fraction):
+    """A mid-run frequency change rescales both components by the same
+    factor (uniform interleaving), so the compute/memory ratio survives."""
+    work = WorkUnit(gcycles, mem)
+    ratio_before = work.mem_seconds / work.gcycles
+    work.consume(f1, work.duration(f1) * fraction)
+    assert work.mem_seconds / work.gcycles == pytest.approx(
+        ratio_before, rel=1e-6)
+    # And the rest finishes at the second frequency without error.
+    work.consume(f2, work.duration(f2))
+    assert work.done
+
+
+@given(
+    gcycles=st.floats(min_value=0.1, max_value=100.0),
+    freq_lo=st.floats(min_value=0.5, max_value=2.0),
+    delta=st.floats(min_value=0.1, max_value=2.0),
+)
+def test_higher_frequency_is_never_slower(gcycles, freq_lo, delta):
+    work = WorkUnit(gcycles, mem_seconds=1.0)
+    assert work.duration(freq_lo + delta) <= work.duration(freq_lo)

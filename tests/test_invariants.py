@@ -1,0 +1,116 @@
+"""Property-based integration tests: invariants every system must hold.
+
+Random small workloads are pushed through Baseline, Baseline+PowerCtrl,
+and EcoFaaS; regardless of configuration the platform must conserve jobs,
+time, cores, and energy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BaselineSystem, PowerCtrlSystem
+from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
+from repro.workloads.registry import benchmark_names
+
+SYSTEM_FACTORIES = {
+    "baseline": BaselineSystem,
+    "powerctrl": PowerCtrlSystem,
+    "ecofaas": lambda: EcoFaaSSystem(EcoFaaSConfig()),
+}
+
+# Small but diverse workloads: short fn, long fn, one app.
+MIXES = [
+    ["WebServ"],
+    ["MLTrain"],
+    ["eBank"],
+    ["WebServ", "CNNServ", "eBank"],
+]
+
+
+def run_once(factory, mix, rate, seed):
+    trace = generate_poisson_trace(PoissonLoadConfig(
+        mix, rate_rps=rate, duration_s=8.0, seed=seed))
+    env = Environment()
+    cluster = Cluster(env, factory(),
+                      ClusterConfig(n_servers=1, seed=seed, drain_s=60.0))
+    cluster.run_trace(trace)
+    return trace, cluster
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100),
+       mix_index=st.integers(min_value=0, max_value=len(MIXES) - 1),
+       system=st.sampled_from(sorted(SYSTEM_FACTORIES)))
+def test_every_request_completes_and_accounts_consistently(
+        seed, mix_index, system):
+    trace, cluster = run_once(SYSTEM_FACTORIES[system], MIXES[mix_index],
+                              rate=6.0, seed=seed)
+    metrics = cluster.metrics
+    # 1. Every workflow completes within the generous drain.
+    assert metrics.completed_workflows() == len(trace)
+    assert cluster.inflight == 0
+    # 2. Per-invocation accounting: queue+run+block+switch overheads make
+    # up the latency; components never exceed it.
+    for record in metrics.function_records:
+        parts = record.t_queue_s + record.t_run_s + record.t_block_s
+        assert parts <= record.latency_s + 1e-6
+        assert record.energy_j >= 0
+    # 3. Energy books balance: attributed energy is part of metered active
+    # energy (never more).
+    components = cluster.energy_by_component()
+    attributed = sum(cluster.energy_by_benchmark().values())
+    active = components["core_active"] + components["dram"]
+    assert attributed <= active + 1e-6
+    # 4. Total energy is positive and finite.
+    assert 0 < cluster.total_energy_j < float("inf")
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_ecofaas_cores_conserved_under_random_load(seed):
+    _, cluster = run_once(SYSTEM_FACTORIES["ecofaas"],
+                          ["WebServ", "MLTrain", "eBank"],
+                          rate=10.0, seed=seed)
+    for node in cluster.nodes:
+        total = (sum(p.n_cores for p in node._pools)
+                 + sum(p.n_cores for p in node._retiring)
+                 + len(node._free))
+        assert total == node.server.n_cores
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_identical_seeds_identical_results_all_systems(seed):
+    for name, factory in SYSTEM_FACTORIES.items():
+        _, a = run_once(factory, ["WebServ", "CNNServ"], rate=8.0,
+                        seed=seed)
+        _, b = run_once(factory, ["WebServ", "CNNServ"], rate=8.0,
+                        seed=seed)
+        assert a.total_energy_j == pytest.approx(b.total_energy_j), name
+        lat_a = [r.latency_s for r in a.metrics.workflow_records]
+        lat_b = [r.latency_s for r in b.metrics.workflow_records]
+        assert lat_a == lat_b, name
+
+
+def test_run_time_decomposition_matches_frequency_histogram():
+    """Per-job freq_run_seconds must sum to the job's total t_run."""
+    _, cluster = run_once(SYSTEM_FACTORIES["ecofaas"], ["CNNServ"],
+                          rate=10.0, seed=3)
+    for record in cluster.metrics.function_records:
+        assert sum(record.freq_run_seconds.values()) == pytest.approx(
+            record.t_run_s, rel=1e-6)
+
+
+def test_energy_monotone_in_load_for_all_systems():
+    for name, factory in SYSTEM_FACTORIES.items():
+        _, light = run_once(factory, ["CNNServ"], rate=3.0, seed=1)
+        _, heavy = run_once(factory, ["CNNServ"], rate=20.0, seed=1)
+        assert heavy.total_energy_j > light.total_energy_j, name

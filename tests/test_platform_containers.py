@@ -1,0 +1,178 @@
+"""Tests for container lifecycle and metrics collection."""
+
+import pytest
+
+from repro.platform.containers import ContainerManager
+from repro.platform.job import Job
+from repro.platform.metrics import MetricsCollector, percentile
+from repro.hardware.work import WorkUnit
+from repro.sim import Environment
+from repro.workloads.spec import InvocationSpec, RunSegment
+
+
+class TestContainerManager:
+    def test_initially_cold(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        assert mgr.state("f") == "cold"
+        assert not mgr.is_warm("f")
+
+    def test_cold_start_cycle(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        event = mgr.begin_cold_start("f")
+        assert mgr.state("f") == "starting"
+        assert mgr.ready_event("f") is event
+        mgr.finish_cold_start("f")
+        assert mgr.state("f") == "warm"
+        assert event.triggered
+
+    def test_keep_alive_expires(self):
+        env = Environment()
+        mgr = ContainerManager(env, keep_alive_s=10.0)
+        mgr.begin_cold_start("f")
+        mgr.finish_cold_start("f")
+        env.run(until=9.0)
+        assert mgr.is_warm("f")
+        env.run(until=10.5)
+        assert mgr.state("f") == "cold"
+
+    def test_touch_extends_keep_alive(self):
+        env = Environment()
+        mgr = ContainerManager(env, keep_alive_s=10.0)
+        mgr.begin_cold_start("f")
+        mgr.finish_cold_start("f")
+        env.run(until=8.0)
+        mgr.touch("f")
+        env.run(until=15.0)
+        assert mgr.is_warm("f")
+
+    def test_touch_cold_container_raises(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        with pytest.raises(RuntimeError):
+            mgr.touch("f")
+
+    def test_double_cold_start_raises(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        mgr.begin_cold_start("f")
+        with pytest.raises(RuntimeError):
+            mgr.begin_cold_start("f")
+
+    def test_finish_without_start_raises(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        with pytest.raises(RuntimeError):
+            mgr.finish_cold_start("f")
+
+    def test_ready_event_without_start_raises(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        with pytest.raises(RuntimeError):
+            mgr.ready_event("f")
+
+    def test_statistics(self):
+        env = Environment()
+        mgr = ContainerManager(env)
+        mgr.begin_cold_start("f")
+        mgr.finish_cold_start("f")
+        mgr.record_warm_hit()
+        assert mgr.cold_starts == 1
+        assert mgr.warm_hits == 1
+
+    def test_warm_functions_listing(self):
+        env = Environment()
+        mgr = ContainerManager(env, keep_alive_s=5.0)
+        mgr.begin_cold_start("a")
+        mgr.finish_cold_start("a")
+        mgr.begin_cold_start("b")
+        assert mgr.warm_functions() == ["a"]
+
+    def test_invalid_keep_alive(self):
+        with pytest.raises(ValueError):
+            ContainerManager(Environment(), keep_alive_s=0.0)
+
+
+def finished_job(env, benchmark="B", latency=1.0, energy=2.0,
+                 freq=3.0, deadline=None):
+    spec = InvocationSpec("fn", [RunSegment(WorkUnit(0.0))])
+    job = Job(env, spec, benchmark, arrival_s=env.now, deadline_s=deadline)
+    job.chosen_freq_ghz = freq
+    job.record_run(latency, energy)
+    job.freq_run_seconds[freq] = latency
+    work = job.current_work()
+    work.consume(3.0, work.duration(3.0))
+    job.advance()
+    env.run(until=env.now + latency)
+    job.complete()
+    return job
+
+
+class TestMetricsCollector:
+    def test_percentile_basics(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_record_job_snapshot(self):
+        env = Environment()
+        collector = MetricsCollector()
+        collector.record_job(finished_job(env))
+        record = collector.function_records[0]
+        assert record.benchmark == "B"
+        assert record.energy_j == pytest.approx(2.0)
+        assert record.latency_s == pytest.approx(1.0)
+
+    def test_workflow_rollups(self):
+        collector = MetricsCollector()
+        for latency in (1.0, 2.0, 3.0, 10.0):
+            collector.record_workflow("B", 0.0, latency, slo_s=5.0)
+        assert collector.latency_avg("B") == pytest.approx(4.0)
+        assert collector.slo_violation_rate("B") == pytest.approx(0.25)
+        assert collector.completed_workflows("B") == 4
+        assert collector.latency_p99("B") == pytest.approx(
+            percentile([1.0, 2.0, 3.0, 10.0], 99))
+
+    def test_rollup_of_missing_benchmark_raises(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.latency_avg("ghost")
+        with pytest.raises(ValueError):
+            collector.slo_violation_rate("ghost")
+        with pytest.raises(ValueError):
+            collector.deadline_miss_rate()
+
+    def test_function_energy_by_benchmark(self):
+        env = Environment()
+        collector = MetricsCollector()
+        collector.record_job(finished_job(env, benchmark="A", energy=1.0))
+        collector.record_job(finished_job(env, benchmark="B", energy=2.0))
+        assert collector.function_energy_j("A") == pytest.approx(1.0)
+        assert collector.function_energy_j() == pytest.approx(3.0)
+
+    def test_frequency_histograms(self):
+        env = Environment()
+        collector = MetricsCollector()
+        collector.record_job(finished_job(env, freq=3.0, latency=1.0))
+        collector.record_job(finished_job(env, freq=1.2, latency=2.0))
+        collector.record_job(finished_job(env, freq=1.2, latency=2.0))
+        assert collector.frequency_histogram() == {3.0: 1, 1.2: 2}
+        times = collector.frequency_time_histogram()
+        assert times[1.2] == pytest.approx(4.0)
+
+    def test_mean_breakdown(self):
+        env = Environment()
+        collector = MetricsCollector()
+        collector.record_job(finished_job(env, latency=2.0))
+        breakdown = collector.mean_breakdown()
+        assert set(breakdown) == {"t_queue", "t_run", "t_block"}
+        assert breakdown["t_run"] == pytest.approx(2.0)
+
+    def test_benchmarks_listing(self):
+        collector = MetricsCollector()
+        collector.record_workflow("Z", 0.0, 1.0, 5.0)
+        collector.record_workflow("A", 0.0, 1.0, 5.0)
+        assert collector.benchmarks() == ["A", "Z"]

@@ -1,0 +1,202 @@
+"""Tests for the Job lifecycle object."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.work import WorkUnit
+from repro.platform.job import Job
+from repro.sim import Environment
+from repro.workloads.spec import BlockSegment, InvocationSpec, RunSegment
+
+
+def make_job(env, with_block=True, setup=None, deadline=None):
+    segments = [RunSegment(WorkUnit(gcycles=3.0))]
+    if with_block:
+        segments += [BlockSegment(0.5), RunSegment(WorkUnit(gcycles=1.5))]
+    spec = InvocationSpec("fn", segments)
+    return Job(env, spec, benchmark="bench", arrival_s=env.now,
+               deadline_s=deadline, setup_work=setup)
+
+
+class TestJobLifecycle:
+    def test_initial_state(self):
+        env = Environment()
+        job = make_job(env)
+        assert not job.finished
+        assert not job.cold_start
+        assert job.function_name == "fn"
+        assert job.t_queue == job.t_run == job.t_block == 0.0
+
+    def test_current_work_returns_same_unit_until_advance(self):
+        env = Environment()
+        job = make_job(env)
+        assert job.current_work() is job.current_work()
+
+    def test_advance_requires_finished_work(self):
+        env = Environment()
+        job = make_job(env)
+        job.current_work()
+        with pytest.raises(RuntimeError):
+            job.advance()
+
+    def test_full_walk_through_segments(self):
+        env = Environment()
+        job = make_job(env)
+        work = job.current_work()
+        work.consume(3.0, work.duration(3.0))
+        block = job.advance()
+        assert block is not None and block.seconds == 0.5
+        job.skip_block()
+        work = job.current_work()
+        work.consume(3.0, work.duration(3.0))
+        assert job.advance() is None
+        assert job.is_complete
+        job.complete()
+        assert job.finished
+        assert job.done.triggered
+
+    def test_setup_work_comes_first_and_fires_hook(self):
+        env = Environment()
+        fired = []
+        job = make_job(env, with_block=False, setup=WorkUnit(gcycles=6.0))
+        job.on_setup_done = lambda: fired.append(env.now)
+        assert job.cold_start
+        setup = job.current_work()
+        assert setup.duration(3.0) == pytest.approx(2.0)
+        setup.consume(3.0, setup.duration(3.0))
+        assert job.advance() is None       # setup -> first run segment
+        assert fired == [0.0]
+        assert not job.is_complete
+        run = job.current_work()
+        assert run.duration(3.0) == pytest.approx(1.0)
+
+    def test_complete_before_segments_done_raises(self):
+        env = Environment()
+        job = make_job(env)
+        with pytest.raises(RuntimeError):
+            job.complete()
+
+    def test_double_complete_raises(self):
+        env = Environment()
+        job = make_job(env, with_block=False)
+        work = job.current_work()
+        work.consume(3.0, work.duration(3.0))
+        job.advance()
+        job.complete()
+        with pytest.raises(RuntimeError):
+            job.complete()
+
+    def test_skip_block_only_at_block_segment(self):
+        env = Environment()
+        job = make_job(env)
+        with pytest.raises(RuntimeError):
+            job.skip_block()
+
+
+class TestJobAccounting:
+    def test_queue_time_accrues_between_enqueue_and_dispatch(self):
+        env = Environment()
+        job = make_job(env)
+        job.note_enqueue()
+        env.run(until=2.0)
+        job.note_dispatch(3.0)
+        assert job.t_queue == pytest.approx(2.0)
+
+    def test_double_enqueue_does_not_reset_timer(self):
+        env = Environment()
+        job = make_job(env)
+        job.note_enqueue()
+        env.run(until=1.0)
+        job.note_enqueue()
+        env.run(until=3.0)
+        job.note_dispatch(3.0)
+        assert job.t_queue == pytest.approx(3.0)
+
+    def test_record_run_accumulates_per_frequency(self):
+        env = Environment()
+        job = make_job(env)
+        job.note_dispatch(3.0)
+        job.record_run(0.5, 4.0)
+        job.note_dispatch(1.2)
+        job.record_run(0.25, 1.0)
+        assert job.t_run == pytest.approx(0.75)
+        assert job.energy_j == pytest.approx(5.0)
+        assert job.freq_run_seconds == {3.0: 0.5, 1.2: 0.25}
+
+    def test_note_block_accumulates(self):
+        env = Environment()
+        job = make_job(env)
+        job.note_block(0.5)
+        job.note_block(0.3)
+        assert job.t_block == pytest.approx(0.8)
+
+    def test_latency_and_deadline(self):
+        env = Environment()
+        job = make_job(env, with_block=False, deadline=3.0)
+        env.run(until=2.0)
+        work = job.current_work()
+        work.consume(3.0, work.duration(3.0))
+        job.advance()
+        job.complete()
+        assert job.latency_s == pytest.approx(2.0)
+        assert job.met_deadline
+
+    def test_missed_deadline(self):
+        env = Environment()
+        job = make_job(env, with_block=False, deadline=1.0)
+        env.run(until=2.0)
+        work = job.current_work()
+        work.consume(3.0, work.duration(3.0))
+        job.advance()
+        job.complete()
+        assert not job.met_deadline
+
+    def test_no_deadline_is_always_met(self):
+        env = Environment()
+        job = make_job(env, with_block=False)
+        work = job.current_work()
+        work.consume(3.0, work.duration(3.0))
+        job.advance()
+        job.complete()
+        assert job.met_deadline
+
+    def test_latency_before_completion_raises(self):
+        env = Environment()
+        job = make_job(env)
+        with pytest.raises(RuntimeError):
+            _ = job.latency_s
+
+
+class TestRemainingRunSeconds:
+    def test_counts_all_run_segments(self):
+        env = Environment()
+        job = make_job(env)  # 1.0s + 0.5s at 3 GHz
+        assert job.remaining_run_seconds(3.0) == pytest.approx(1.5)
+        assert job.remaining_run_seconds(1.5) == pytest.approx(3.0)
+
+    def test_includes_setup_work(self):
+        env = Environment()
+        job = make_job(env, with_block=False, setup=WorkUnit(gcycles=3.0))
+        assert job.remaining_run_seconds(3.0) == pytest.approx(2.0)
+
+    def test_decreases_with_progress(self):
+        env = Environment()
+        job = make_job(env)
+        work = job.current_work()
+        work.consume(3.0, 0.5)
+        assert job.remaining_run_seconds(3.0) == pytest.approx(1.0)
+
+    def test_seniority_orders_by_arrival_then_id(self):
+        env = Environment()
+        a = make_job(env)
+        b = make_job(env)
+        assert a.seniority < b.seniority
+        env.run(until=1.0)
+        c = make_job(env)
+        assert b.seniority < c.seniority
+
+    def test_negative_arrival_rejected(self):
+        env = Environment()
+        spec = InvocationSpec("f", [RunSegment(WorkUnit(1.0))])
+        with pytest.raises(ValueError):
+            Job(env, spec, "b", arrival_s=-1.0)

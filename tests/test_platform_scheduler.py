@@ -1,0 +1,357 @@
+"""Tests for the core-pool scheduler: FIFO, preemption, RTC, DVFS, EWT."""
+
+import pytest
+
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.core import Core
+from repro.hardware.power import PowerModel
+from repro.hardware.work import WorkUnit
+from repro.platform.job import Job
+from repro.platform.scheduler import CorePoolScheduler
+from repro.sim import Environment
+from repro.workloads.spec import BlockSegment, InvocationSpec, RunSegment
+
+
+def make_pool(env, n_cores=1, freq=3.0, **kwargs):
+    meter = EnergyMeter()
+    power = PowerModel()
+    cores = [Core(env, i, power, meter, freq) for i in range(n_cores)]
+    kwargs.setdefault("context_switch_s", 0.0)
+    return CorePoolScheduler(env, cores, frequency_ghz=freq, **kwargs), meter
+
+
+def simple_job(env, run_s=1.0, blocks=(), deadline=None, arrival=None):
+    segments = [RunSegment(WorkUnit(gcycles=run_s * 3.0))]
+    for block_s, next_run_s in blocks:
+        segments.append(BlockSegment(block_s))
+        segments.append(RunSegment(WorkUnit(gcycles=next_run_s * 3.0)))
+    spec = InvocationSpec("fn", segments)
+    return Job(env, spec, "bench",
+               arrival_s=env.now if arrival is None else arrival,
+               deadline_s=deadline)
+
+
+class TestFifoExecution:
+    def test_single_job_runs_to_completion(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        job = simple_job(env, run_s=2.0)
+        pool.submit(job)
+        env.run()
+        assert job.finished
+        assert job.completion_time == pytest.approx(2.0)
+        assert pool.stats.served == 1
+
+    def test_fifo_order_on_one_core(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        jobs = [simple_job(env, run_s=1.0) for _ in range(3)]
+        for job in jobs:
+            pool.submit(job)
+        env.run()
+        ends = [job.completion_time for job in jobs]
+        assert ends == sorted(ends)
+        assert ends[-1] == pytest.approx(3.0)
+
+    def test_parallel_cores_share_queue(self):
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=2)
+        jobs = [simple_job(env, run_s=1.0) for _ in range(4)]
+        for job in jobs:
+            pool.submit(job)
+        env.run()
+        assert max(j.completion_time for j in jobs) == pytest.approx(2.0)
+
+    def test_queue_time_measured(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        first = simple_job(env, run_s=2.0)
+        second = simple_job(env, run_s=1.0)
+        pool.submit(first)
+        pool.submit(second)
+        env.run()
+        assert second.t_queue == pytest.approx(2.0)
+        assert pool.stats.total_wait_s == pytest.approx(2.0)
+
+    def test_context_switch_cost_delays_start(self):
+        env = Environment()
+        pool, _ = make_pool(env, context_switch_s=0.1)
+        job = simple_job(env, run_s=1.0)
+        pool.submit(job)
+        env.run()
+        assert job.completion_time == pytest.approx(1.1)
+
+
+class TestBlockingBehaviour:
+    def test_switch_on_idle_overlaps_block_with_other_work(self):
+        env = Environment()
+        pool, _ = make_pool(env, switch_on_idle=True)
+        blocker = simple_job(env, run_s=0.5, blocks=[(2.0, 0.5)])
+        filler = simple_job(env, run_s=1.0)
+        pool.submit(blocker)
+        pool.submit(filler)
+        env.run()
+        # Filler runs inside blocker's 2 s I/O window.
+        assert filler.completion_time == pytest.approx(1.5)
+        assert blocker.completion_time == pytest.approx(3.0)
+
+    def test_run_to_completion_holds_core_through_block(self):
+        env = Environment()
+        pool, _ = make_pool(env, switch_on_idle=False)
+        blocker = simple_job(env, run_s=0.5, blocks=[(2.0, 0.5)])
+        filler = simple_job(env, run_s=1.0)
+        pool.submit(blocker)
+        pool.submit(filler)
+        env.run()
+        assert blocker.completion_time == pytest.approx(3.0)
+        # Filler had to wait for the whole blocker, idle time included.
+        assert filler.completion_time == pytest.approx(4.0)
+
+    def test_block_time_recorded(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        job = simple_job(env, run_s=0.5, blocks=[(1.5, 0.5)])
+        pool.submit(job)
+        env.run()
+        assert job.t_block == pytest.approx(1.5)
+        assert job.t_run == pytest.approx(1.0)
+
+    def test_blocked_counter_tracks_parked_jobs(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        job = simple_job(env, run_s=0.5, blocks=[(2.0, 0.5)])
+        pool.submit(job)
+        env.run(until=1.0)
+        assert pool.blocked_count == 1
+        assert pool.load == 1
+        env.run()
+        assert pool.blocked_count == 0
+
+
+class TestPreemption:
+    def test_older_ready_job_preempts_youngest_running(self):
+        env = Environment()
+        pool, _ = make_pool(env, preemptive=True)
+        old = simple_job(env, run_s=0.2, blocks=[(1.0, 0.5)], arrival=0.0)
+        pool.submit(old)
+        env.run(until=0.5)  # old is now blocked until t=1.2
+        young = simple_job(env, run_s=5.0)
+        pool.submit(young)   # starts at 0.5 on the only core
+        env.run()
+        # At t=1.2 old returns and preempts young.
+        assert old.completion_time == pytest.approx(1.7)
+        assert pool.stats.preemptions == 1
+        # Young resumes after old finishes; its work is conserved.
+        assert young.completion_time == pytest.approx(0.5 + 5.0 + 0.5)
+
+    def test_non_preemptive_pool_waits(self):
+        env = Environment()
+        pool, _ = make_pool(env, preemptive=False)
+        old = simple_job(env, run_s=0.2, blocks=[(1.0, 0.5)])
+        pool.submit(old)
+        env.run(until=0.5)
+        young = simple_job(env, run_s=5.0)
+        pool.submit(young)
+        env.run()
+        assert pool.stats.preemptions == 0
+        # Young starts at 0.5 (the core idles while old blocks) and runs
+        # till 5.5; old returns at 1.2 but must wait, finishing at 6.0.
+        assert old.completion_time == pytest.approx(6.0)
+
+    def test_younger_ready_job_does_not_preempt_older_running(self):
+        env = Environment()
+        pool, _ = make_pool(env, preemptive=True)
+        first = simple_job(env, run_s=3.0)
+        pool.submit(first)
+        env.run(until=1.0)
+        second = simple_job(env, run_s=1.0)
+        pool.submit(second)
+        env.run()
+        assert pool.stats.preemptions == 0
+        assert first.completion_time == pytest.approx(3.0)
+
+
+class TestFrequencyHandling:
+    def test_per_job_frequency_runs_at_chosen_speed(self):
+        env = Environment()
+        pool, _ = make_pool(env, per_job_frequency=True)
+        job = simple_job(env, run_s=1.0)  # 3 gcycles
+        job.chosen_freq_ghz = 1.5
+        pool.submit(job)
+        env.run()
+        assert job.completion_time == pytest.approx(2.0)
+
+    def test_switch_cost_paid_when_frequency_differs(self):
+        env = Environment()
+        pool, _ = make_pool(env, per_job_frequency=True,
+                            switch_cost=lambda: 0.25)
+        job = simple_job(env, run_s=1.0)
+        job.chosen_freq_ghz = 1.5
+        pool.submit(job)
+        env.run()
+        assert job.completion_time == pytest.approx(0.25 + 2.0)
+        assert pool.stats.frequency_switches == 1
+
+    def test_no_switch_cost_when_frequency_matches(self):
+        env = Environment()
+        pool, _ = make_pool(env, per_job_frequency=True,
+                            switch_cost=lambda: 0.25)
+        job = simple_job(env, run_s=1.0)
+        job.chosen_freq_ghz = 3.0
+        pool.submit(job)
+        env.run()
+        assert job.completion_time == pytest.approx(1.0)
+        assert pool.stats.frequency_switches == 0
+
+    def test_set_frequency_retunes_pool_and_running_jobs(self):
+        env = Environment()
+        pool, _ = make_pool(env, freq=3.0)
+        job = simple_job(env, run_s=2.0)  # 6 gcycles
+        pool.submit(job)
+        env.run(until=1.0)  # 3 gcycles left
+        pool.set_frequency(1.5)
+        env.run()
+        assert job.completion_time == pytest.approx(3.0)
+        assert pool.frequency_ghz == 1.5
+
+    def test_set_frequency_with_cost_stalls_running_job(self):
+        env = Environment()
+        pool, _ = make_pool(env, freq=3.0)
+        job = simple_job(env, run_s=2.0)
+        pool.submit(job)
+        env.run(until=1.0)
+        pool.set_frequency(1.5, cost_s=0.5)
+        env.run()
+        assert job.completion_time == pytest.approx(3.5)
+
+    def test_invalid_frequency_rejected(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        with pytest.raises(ValueError):
+            pool.set_frequency(0.0)
+
+
+class TestEwtCounter:
+    def test_ewt_tracks_registered_run_seconds(self):
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=2)
+        jobs = [simple_job(env, run_s=1.0) for _ in range(4)]
+        for job in jobs:
+            pool.submit(job)
+        assert pool.ewt_seconds == pytest.approx(4.0)
+        assert pool.estimated_queue_seconds() == pytest.approx(2.0)
+        env.run()
+        assert pool.ewt_seconds == pytest.approx(0.0)
+
+    def test_ewt_uses_explicit_registration_when_present(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        job = simple_job(env, run_s=1.0)
+        job.registered_run_seconds = 7.0
+        pool.submit(job)
+        assert pool.ewt_seconds == pytest.approx(7.0)
+        env.run()
+        assert pool.ewt_seconds == pytest.approx(0.0)
+
+    def test_empty_pool_estimate_is_infinite(self):
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=1)
+        core = pool.release_idle_core()
+        assert core is not None
+        assert pool.estimated_queue_seconds() == float("inf")
+
+    def test_ewt_estimate_approximates_actual_wait(self):
+        """The paper's T_Queue ~= EWT / n_cores claim, on a saturated
+        FIFO pool with uniform jobs."""
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=2)
+        for _ in range(10):
+            pool.submit(simple_job(env, run_s=1.0))
+        latecomer = simple_job(env, run_s=1.0)
+        predicted = pool.estimated_queue_seconds()
+        pool.submit(latecomer)
+        env.run()
+        assert latecomer.t_queue == pytest.approx(predicted, rel=0.05)
+
+
+class TestElasticity:
+    def test_add_core_increases_parallelism(self):
+        env = Environment()
+        pool, meter = make_pool(env, n_cores=1)
+        extra = Core(env, 99, PowerModel(), meter, 3.0)
+        pool.add_core(extra)
+        jobs = [simple_job(env, run_s=1.0) for _ in range(2)]
+        for job in jobs:
+            pool.submit(job)
+        env.run()
+        assert max(j.completion_time for j in jobs) == pytest.approx(1.0)
+
+    def test_add_core_retunes_to_pool_frequency(self):
+        env = Environment()
+        pool, meter = make_pool(env, n_cores=1, freq=1.5)
+        extra = Core(env, 99, PowerModel(), meter, 3.0)
+        pool.add_core(extra)
+        assert extra.frequency == 1.5
+
+    def test_duplicate_core_rejected(self):
+        env = Environment()
+        pool, meter = make_pool(env, n_cores=1)
+        with pytest.raises(ValueError):
+            pool.add_core(pool.cores[0])
+
+    def test_release_idle_core(self):
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=2)
+        core = pool.release_idle_core()
+        assert core is not None
+        assert pool.n_cores == 1
+
+    def test_release_when_all_busy_returns_none(self):
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=1)
+        pool.submit(simple_job(env, run_s=5.0))
+        assert pool.release_idle_core() is None
+
+    def test_request_core_removal_releases_after_job(self):
+        env = Environment()
+        released = []
+        pool, _ = make_pool(env, n_cores=1)
+        pool.on_core_released = released.append
+        pool.submit(simple_job(env, run_s=1.0))
+        assert pool.request_core_removal()
+        env.run()
+        assert len(released) == 1
+        assert pool.n_cores == 0
+
+    def test_request_core_removal_false_when_none_available(self):
+        env = Environment()
+        pool, _ = make_pool(env, n_cores=1)
+        pool.submit(simple_job(env, run_s=5.0))
+        assert pool.request_core_removal()
+        assert not pool.request_core_removal()
+
+
+class TestStats:
+    def test_reset_returns_snapshot_and_zeroes(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        pool.submit(simple_job(env, run_s=1.0))
+        env.run()
+        snapshot = pool.stats.reset()
+        assert snapshot.served == 1
+        assert pool.stats.served == 0
+
+    def test_boost_and_lower_flags_counted(self):
+        env = Environment()
+        pool, _ = make_pool(env)
+        job = simple_job(env, run_s=1.0)
+        job.boosted = True
+        job.wanted_lower_freq = True
+        pool.submit(job)
+        assert pool.stats.boosted == 1
+        assert pool.stats.wanted_lower_freq == 1
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            make_pool(env, context_switch_s=-1.0)

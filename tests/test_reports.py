@@ -1,0 +1,115 @@
+"""Tests for the ASCII report helpers."""
+
+import pytest
+
+from repro.reports import (
+    bar_chart,
+    comparison_table,
+    histogram,
+    sparkline,
+    timeline,
+)
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        out = bar_chart({"EcoFaaS": 10.0, "Baseline": 20.0})
+        assert "EcoFaaS" in out and "Baseline" in out
+        assert "20" in out
+
+    def test_largest_value_fills_width(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_unit_suffix(self):
+        out = bar_chart({"x": 5.0}, unit="kJ")
+        assert "5kJ" in out
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+    def test_all_zero_values(self):
+        out = bar_chart({"x": 0.0, "y": 0.0})
+        assert "█" not in out
+
+
+class TestHistogram:
+    def test_bins_cover_range(self):
+        out = histogram([1.0, 2.0, 3.0, 4.0, 5.0], bins=5)
+        assert out.count("|") == 5
+
+    def test_counts_sum(self):
+        out = histogram([1.0] * 7 + [10.0] * 3, bins=2)
+        assert " 7" in out and " 3" in out
+
+    def test_constant_samples(self):
+        out = histogram([2.0, 2.0, 2.0], bins=3)
+        assert " 3" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        spark = sparkline(list(range(9)))
+        assert spark == "".join(sorted(spark))
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_explicit_bounds(self):
+        spark = sparkline([5.0], lo=0.0, hi=10.0)
+        assert spark == "▄"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestTimeline:
+    def test_includes_range_and_label(self):
+        out = timeline([(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)], label="freq")
+        assert out.startswith("freq [0s..2s]")
+        assert "min 1" in out and "max 3" in out
+
+    def test_decimates_long_series(self):
+        samples = [(float(i), float(i % 5)) for i in range(1000)]
+        out = timeline(samples, width=50)
+        spark = out.split("] ")[1].split(" (")[0]
+        assert len(spark) == 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timeline([])
+
+
+class TestComparisonTable:
+    def test_groups_by_row_key(self):
+        rows = [
+            {"benchmark": "WebServ", "norm_A": 1.0, "norm_B": 0.5},
+            {"benchmark": "CNNServ", "norm_A": 1.0, "norm_B": 0.8},
+        ]
+        out = comparison_table(rows, "benchmark", ["norm_A", "norm_B"])
+        assert "WebServ" in out and "CNNServ" in out
+        assert out.count("norm_A") == 2
+
+    def test_skips_non_numeric_cells(self):
+        rows = [{"k": "x", "v": "saturated"}]
+        out = comparison_table(rows, "k", ["v"])
+        assert "saturated" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_table([], "k", ["v"])

@@ -1,0 +1,144 @@
+"""Tests for scheduler draining and EWT remaining-work semantics."""
+
+import pytest
+
+from repro.hardware.core import Core
+from repro.hardware.energy import EnergyMeter
+from repro.hardware.power import PowerModel
+from repro.hardware.work import WorkUnit
+from repro.platform.job import Job
+from repro.platform.scheduler import CorePoolScheduler
+from repro.sim import Environment
+from repro.workloads.spec import BlockSegment, InvocationSpec, RunSegment
+
+
+def make_pool(env, n_cores=1, freq=3.0, **kwargs):
+    meter = EnergyMeter()
+    power = PowerModel()
+    cores = [Core(env, i, power, meter, freq) for i in range(n_cores)]
+    kwargs.setdefault("context_switch_s", 0.0)
+    return CorePoolScheduler(env, cores, frequency_ghz=freq, **kwargs)
+
+
+def job_of(env, run_s=1.0, blocks=()):
+    segments = [RunSegment(WorkUnit(gcycles=run_s * 3.0))]
+    for block_s, next_run in blocks:
+        segments.append(BlockSegment(block_s))
+        segments.append(RunSegment(WorkUnit(gcycles=next_run * 3.0)))
+    return Job(env, InvocationSpec("fn", segments), "bench",
+               arrival_s=env.now)
+
+
+class TestDrainReady:
+    def test_drain_returns_queued_jobs_only(self):
+        env = Environment()
+        pool = make_pool(env, n_cores=1)
+        running = job_of(env, run_s=5.0)
+        queued = [job_of(env) for _ in range(3)]
+        pool.submit(running)
+        for job in queued:
+            pool.submit(job)
+        drained = pool.drain_ready()
+        assert set(drained) == set(queued)
+        assert pool.queue_length == 0
+        assert pool.running_count == 1
+
+    def test_drained_jobs_carry_remaining_ewt(self):
+        env = Environment()
+        pool = make_pool(env, n_cores=1)
+        pool.submit(job_of(env, run_s=5.0))
+        job = job_of(env, run_s=2.0)
+        job.registered_run_seconds = 2.0
+        pool.submit(job)
+        ewt_before = pool.ewt_seconds
+        drained = pool.drain_ready()
+        assert drained == [job]
+        assert pool.ewt_seconds == pytest.approx(ewt_before - 2.0)
+        assert job.registered_run_seconds == pytest.approx(2.0)
+
+    def test_drained_job_finishes_in_another_pool(self):
+        env = Environment()
+        pool_a = make_pool(env, n_cores=1)
+        pool_b = make_pool(env, n_cores=1, freq=1.5)
+        blocker = job_of(env, run_s=10.0)
+        waiter = job_of(env, run_s=1.5)
+        pool_a.submit(blocker)
+        pool_a.submit(waiter)
+        [drained] = pool_a.drain_ready()
+        pool_b.submit(drained)
+        env.run(until=5.0)
+        assert waiter.finished
+        assert waiter.completion_time == pytest.approx(3.0)  # 1.5s at 1.5GHz
+
+    def test_drain_empty_queue(self):
+        env = Environment()
+        pool = make_pool(env)
+        assert pool.drain_ready() == []
+
+
+class TestEwtRemainingWork:
+    def test_ewt_shrinks_as_segments_complete(self):
+        """A blocked job only contributes its *remaining* run time, not its
+        full registered amount (otherwise T_Queue estimates explode)."""
+        env = Environment()
+        pool = make_pool(env, n_cores=1)
+        job = job_of(env, run_s=1.0, blocks=[(5.0, 1.0)])
+        job.registered_run_seconds = 2.0
+        pool.submit(job)
+        assert pool.ewt_seconds == pytest.approx(2.0)
+        env.run(until=1.5)  # first run segment done, job blocked
+        assert pool.ewt_seconds == pytest.approx(1.0)
+        env.run()
+        assert pool.ewt_seconds == pytest.approx(0.0)
+
+    def test_ewt_shrinks_on_preemption(self):
+        env = Environment()
+        pool = make_pool(env, n_cores=1, preemptive=True)
+        old = job_of(env, run_s=0.5, blocks=[(1.0, 0.5)])
+        pool.submit(old)
+        env.run(until=0.6)  # old is blocked until 1.5
+        young = job_of(env, run_s=10.0)
+        young.registered_run_seconds = 10.0
+        pool.submit(young)
+        env.run(until=1.6)  # old came back and preempted young
+        # Young consumed ~0.9s of its 10s; EWT reflects the remainder.
+        assert pool.ewt_seconds < 10.0
+        env.run()
+        assert pool.ewt_seconds == pytest.approx(0.0, abs=1e-6)
+
+    def test_ewt_never_negative(self):
+        env = Environment()
+        pool = make_pool(env, n_cores=2)
+        for _ in range(5):
+            job = job_of(env, run_s=0.3, blocks=[(0.2, 0.3)])
+            job.registered_run_seconds = 0.1  # underestimate on purpose
+            pool.submit(job)
+        env.run()
+        assert pool.ewt_seconds >= 0.0
+
+
+class TestSeniorityInheritance:
+    def test_workflow_seniority_overrides_arrival(self):
+        env = Environment()
+        env.run(until=5.0)
+        spec = InvocationSpec("fn", [RunSegment(WorkUnit(1.0))])
+        late_stage = Job(env, spec, "app", arrival_s=5.0,
+                         seniority_time_s=1.0)
+        fresh = Job(env, InvocationSpec("g", [RunSegment(WorkUnit(1.0))]),
+                    "other", arrival_s=4.0)
+        assert late_stage.seniority < fresh.seniority
+
+    def test_inherited_seniority_preempts_younger_request(self):
+        env = Environment()
+        pool = make_pool(env, n_cores=1, preemptive=True)
+        young = job_of(env, run_s=10.0)  # arrives at t=0, request t=0
+        pool.submit(young)
+        env.run(until=1.0)
+        # A stage-2 function of a request that arrived BEFORE young.
+        spec = InvocationSpec("fn", [RunSegment(WorkUnit(3.0))])
+        old_stage = Job(env, spec, "app", arrival_s=env.now,
+                        seniority_time_s=-1.0)
+        pool.submit(old_stage)
+        env.run(until=2.5)
+        assert old_stage.finished  # it preempted young immediately
+        assert not young.finished

@@ -1,0 +1,166 @@
+"""Edge cases of the simulation kernel beyond the basic suites."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+class TestInterruptEdgeCases:
+    def test_interrupt_before_first_yield_point(self):
+        env = Environment()
+        trace = []
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                trace.append(("interrupted", env.now))
+
+        p = env.process(victim())
+        # Interrupt scheduled at t=0, before the victim even starts: the
+        # kernel delivers it at the victim's first yield point.
+        def attacker():
+            yield env.timeout(0.0)
+            p.interrupt("early")
+
+        env.process(attacker())
+        env.run()
+        assert trace == [("interrupted", 0.0)]
+
+    def test_double_interrupt_delivers_both(self):
+        env = Environment()
+        causes = []
+
+        def victim():
+            target = env.timeout(10.0)
+            for _ in range(2):
+                try:
+                    yield target
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+
+        def attacker(p):
+            yield env.timeout(1.0)
+            p.interrupt("first")
+            p.interrupt("second")
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        env.run()
+        assert causes == ["first", "second"]
+
+    def test_interrupt_then_completion_value_still_correct(self):
+        env = Environment()
+        results = []
+
+        def victim():
+            target = env.timeout(5.0, value="payload")
+            try:
+                yield target
+            except Interrupt:
+                pass
+            value = yield target
+            results.append((env.now, value))
+
+        def attacker(p):
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        env.run()
+        assert results == [(5.0, "payload")]
+
+
+class TestConditionEdgeCases:
+    def test_all_of_empty_succeeds_immediately(self):
+        env = Environment()
+        results = []
+
+        def proc():
+            value = yield AllOf(env, [])
+            results.append((env.now, value))
+
+        env.process(proc())
+        env.run()
+        assert results == [(0.0, {})]
+
+    def test_all_of_fails_when_member_fails(self):
+        env = Environment()
+        caught = []
+        gate = env.event()
+
+        def proc():
+            try:
+                yield AllOf(env, [env.timeout(10.0), gate])
+            except ValueError as error:
+                caught.append((env.now, str(error)))
+
+        def failer():
+            yield env.timeout(1.0)
+            gate.fail(ValueError("member died"))
+
+        env.process(proc())
+        env.process(failer())
+        env.run()
+        assert caught == [(1.0, "member died")]
+
+    def test_any_of_with_already_processed_event(self):
+        env = Environment()
+        done = env.timeout(0.0, value="fast")
+        results = []
+
+        def proc():
+            yield env.timeout(1.0)  # let `done` be processed first
+            value = yield AnyOf(env, [done, env.timeout(10.0)])
+            results.append((env.now, list(value.values())))
+
+        env.process(proc())
+        env.run()
+        assert results == [(1.0, ["fast"])]
+
+    def test_condition_rejects_foreign_environment(self):
+        env_a, env_b = Environment(), Environment()
+        with pytest.raises(ValueError):
+            AllOf(env_a, [env_b.timeout(1.0)])
+
+
+class TestSelfInterruptGuard:
+    def test_process_cannot_interrupt_itself(self):
+        env = Environment()
+        errors = []
+
+        def selfish():
+            this = env.active_process
+            try:
+                this.interrupt()
+            except RuntimeError as error:
+                errors.append(str(error))
+            yield env.timeout(0.1)
+
+        env.process(selfish())
+        env.run()
+        assert len(errors) == 1
+
+
+class TestClockPrecision:
+    def test_many_tiny_timeouts_accumulate_exactly(self):
+        env = Environment()
+
+        def ticker():
+            for _ in range(1000):
+                yield env.timeout(1e-6)
+
+        p = env.process(ticker())
+        env.run()
+        assert env.now == pytest.approx(1e-3, rel=1e-9)
+        assert not p.is_alive
+
+    def test_zero_delay_timeouts_preserve_order(self):
+        env = Environment()
+        order = []
+        for i in range(10):
+            env.timeout(0.0).callbacks.append(
+                lambda ev, i=i: order.append(i))
+        env.run()
+        assert order == list(range(10))

@@ -1,0 +1,177 @@
+"""Tests for priority and preemptive resources."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.priority import (
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+)
+
+
+class TestPriorityResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PriorityResource(Environment(), capacity=0)
+
+    def test_grants_in_priority_order(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(tag, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        env.process(worker("holder", 0, 0.0))
+        env.process(worker("low", 5, 0.1))
+        env.process(worker("high", 1, 0.2))
+        env.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_fifo_within_same_priority(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(tag, delay):
+            yield env.timeout(delay)
+            with res.request(priority=3) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        env.process(worker("a", 0.0))
+        env.process(worker("b", 0.1))
+        env.process(worker("c", 0.2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_of_waiting_request_removes_it(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        holder = res.request(priority=0)
+        waiter = res.request(priority=1)
+        res.release(waiter)
+        assert res.queue_length == 0
+        res.release(holder)
+        assert not waiter.triggered
+
+    def test_no_preemption_in_plain_priority_resource(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        trace = []
+
+        def holder():
+            with res.request(priority=9) as req:
+                yield req
+                yield env.timeout(2.0)
+                trace.append(("held", env.now))
+
+        def urgent():
+            yield env.timeout(0.5)
+            with res.request(priority=0) as req:
+                yield req
+                trace.append(("urgent", env.now))
+
+        env.process(holder())
+        env.process(urgent())
+        env.run()
+        assert trace == [("held", 2.0), ("urgent", 2.0)]
+
+
+class TestPreemptiveResource:
+    def test_high_priority_evicts_lowest_user(self):
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        trace = []
+
+        def victim():
+            with res.request(priority=9) as req:
+                yield req
+                try:
+                    yield env.timeout(10.0)
+                    trace.append("victim-finished")
+                except Interrupt as interrupt:
+                    cause = interrupt.cause
+                    assert isinstance(cause, Preempted)
+                    trace.append(("evicted", env.now, cause.usage_since))
+
+        def attacker():
+            yield env.timeout(1.0)
+            with res.request(priority=0) as req:
+                yield req
+                trace.append(("attacker", env.now))
+
+        env.process(victim())
+        env.process(attacker())
+        env.run()
+        assert trace == [("evicted", 1.0, 0.0), ("attacker", 1.0)]
+
+    def test_equal_priority_does_not_preempt(self):
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        trace = []
+
+        def worker(tag, delay):
+            yield env.timeout(delay)
+            with res.request(priority=5) as req:
+                yield req
+                yield env.timeout(1.0)
+                trace.append((tag, env.now))
+
+        env.process(worker("first", 0.0))
+        env.process(worker("second", 0.2))
+        env.run()
+        assert trace == [("first", 1.0), ("second", 2.0)]
+
+    def test_preempt_false_waits_politely(self):
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        trace = []
+
+        def holder():
+            with res.request(priority=9) as req:
+                yield req
+                yield env.timeout(2.0)
+                trace.append(("holder-done", env.now))
+
+        def polite():
+            yield env.timeout(0.5)
+            with res.request(priority=0, preempt=False) as req:
+                yield req
+                trace.append(("polite", env.now))
+
+        env.process(holder())
+        env.process(polite())
+        env.run()
+        assert trace == [("holder-done", 2.0), ("polite", 2.0)]
+
+    def test_multi_slot_evicts_only_least_important(self):
+        env = Environment()
+        res = PreemptiveResource(env, capacity=2)
+        evicted = []
+
+        def user(tag, priority):
+            with res.request(priority=priority) as req:
+                yield req
+                try:
+                    yield env.timeout(10.0)
+                except Interrupt:
+                    evicted.append(tag)
+
+        def vip():
+            yield env.timeout(1.0)
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(0.5)
+
+        env.process(user("mid", 5))
+        env.process(user("low", 9))
+        env.process(vip())
+        env.run()
+        assert evicted == ["low"]

@@ -1,0 +1,279 @@
+"""Unit tests for generator processes: yields, returns, failures, interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt
+
+
+def test_process_runs_and_advances_time():
+    env = Environment()
+    trace = []
+
+    def proc():
+        trace.append(env.now)
+        yield env.timeout(1.0)
+        trace.append(env.now)
+        yield env.timeout(2.0)
+        trace.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert trace == [0.0, 1.0, 3.0]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return "done"
+
+    p = env.process(proc())
+    env.run()
+    assert p.ok and p.value == "done"
+
+
+def test_yield_value_of_timeout_is_delivered():
+    env = Environment()
+    got = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        got.append(value)
+
+    env.process(proc())
+    env.run()
+    assert got == ["hello"]
+
+
+def test_process_waiting_on_manual_event():
+    env = Environment()
+    gate = env.event()
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append((env.now, value))
+
+    def opener():
+        yield env.timeout(5.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert got == [(5.0, "open")]
+
+
+def test_failed_event_raises_inside_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as error:
+            caught.append(str(error))
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("rpc error"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["rpc error"]
+
+
+def test_uncaught_process_exception_surfaces():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("process bug")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="process bug"):
+        env.run()
+
+
+def test_process_exception_observed_by_waiter_does_not_surface():
+    env = Environment()
+    seen = []
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("expected")
+
+    def watcher(p):
+        try:
+            yield p
+        except RuntimeError as error:
+            seen.append(str(error))
+
+    p = env.process(bad())
+    env.process(watcher(p))
+    env.run()
+    assert seen == ["expected"]
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    env = Environment()
+    trace = []
+
+    def quick():
+        yield env.timeout(1.0)
+        return 7
+
+    def late(p):
+        yield env.timeout(10.0)
+        value = yield p
+        trace.append((env.now, value))
+
+    p = env.process(quick())
+    env.process(late(p))
+    env.run()
+    assert trace == [(10.0, 7)]
+
+
+def test_interrupt_raises_in_target_process():
+    env = Environment()
+    trace = []
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+            trace.append("finished")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", env.now, interrupt.cause))
+
+    def attacker(p):
+        yield env.timeout(3.0)
+        p.interrupt(cause="preempted")
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+    assert trace == [("interrupted", 3.0, "preempted")]
+
+
+def test_interrupted_process_can_reyield_original_target():
+    env = Environment()
+    trace = []
+
+    def victim():
+        target = env.timeout(10.0)
+        try:
+            yield target
+        except Interrupt:
+            trace.append(("interrupted", env.now))
+        yield target
+        trace.append(("resumed", env.now))
+
+    def attacker(p):
+        yield env.timeout(3.0)
+        p.interrupt()
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+    assert trace == [("interrupted", 3.0), ("resumed", 10.0)]
+
+
+def test_interrupting_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_is_alive_transitions():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_yielding_non_event_fails():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_nested_processes():
+    env = Environment()
+    trace = []
+
+    def child(tag, delay):
+        yield env.timeout(delay)
+        return tag
+
+    def parent():
+        first = yield env.process(child("a", 2.0))
+        second = yield env.process(child("b", 3.0))
+        trace.append((env.now, first, second))
+
+    env.process(parent())
+    env.run()
+    assert trace == [(5.0, "a", "b")]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    trace = []
+
+    def proc():
+        results = yield env.all_of(
+            [env.timeout(1.0, "x"), env.timeout(3.0, "y")])
+        trace.append((env.now, sorted(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert trace == [(3.0, ["x", "y"])]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    trace = []
+
+    def proc():
+        results = yield env.any_of(
+            [env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+        trace.append((env.now, list(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert trace == [(1.0, ["fast"])]
+
+
+def test_parallel_children_via_all_of():
+    env = Environment()
+
+    def child(delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent():
+        children = [env.process(child(d)) for d in (1.0, 4.0, 2.0)]
+        yield env.all_of(children)
+        return env.now
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == 4.0

@@ -1,0 +1,144 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_release_grants_next_waiter_fifo():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    third = res.request()
+    res.release(first)
+    assert second.triggered and not third.triggered
+    res.release(second)
+    assert third.triggered
+
+
+def test_release_of_waiting_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    res.release(waiter)
+    assert res.queue_length == 0
+    res.release(holder)
+    assert not waiter.triggered
+
+
+def test_resource_with_processes_serialises_execution():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    trace = []
+
+    def worker(tag):
+        with res.request() as req:
+            yield req
+            trace.append((tag, "start", env.now))
+            yield env.timeout(2.0)
+            trace.append((tag, "end", env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert trace == [
+        ("a", "start", 0.0), ("a", "end", 2.0),
+        ("b", "start", 2.0), ("b", "end", 4.0),
+    ]
+
+
+def test_resource_context_manager_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def failing():
+        with res.request() as req:
+            yield req
+            raise ValueError("dies holding the resource")
+
+    def follower():
+        with res.request() as req:
+            yield req
+            return env.now
+
+    env.process(failing())
+    p = env.process(follower())
+    with pytest.raises(ValueError):
+        env.run()
+    env.run()
+    assert p.ok and p.value == 0.0
+
+
+def test_store_put_get_fifo_order():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    g1, g2 = store.get(), store.get()
+    assert g1.value == "a"
+    assert g2.value == "b"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(3.0)
+        store.put("item")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(3.0, "item")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    p1 = store.put("x")
+    p2 = store.put("y")
+    assert p1.triggered and not p2.triggered
+    assert store.get().value == "x"
+    assert p2.triggered
+    assert store.get().value == "y"
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    store.get()
+    assert len(store) == 1

@@ -1,0 +1,118 @@
+"""Tests for application workflows and the benchmark registry."""
+
+import pytest
+
+from repro.workloads.applications import APPLICATIONS, Workflow, WorkflowStage
+from repro.workloads.functionbench import CNN_SERV, STANDALONE_FUNCTIONS
+from repro.workloads.registry import (
+    all_benchmarks,
+    benchmark_names,
+    get_application,
+    get_function,
+    workflow_for,
+)
+
+
+class TestWorkflowStructure:
+    def test_table1_function_counts(self):
+        # Table I: MLTune 6, DataAn 8, eBank 6, eBook 7, VidAn 3.
+        expected = {"MLTune": 6, "DataAn": 8, "eBank": 6, "eBook": 7,
+                    "VidAn": 3}
+        for name, count in expected.items():
+            assert APPLICATIONS[name].n_functions == count, name
+
+    def test_some_apps_have_parallel_stages(self):
+        assert any(len(stage.functions) > 1
+                   for stage in APPLICATIONS["MLTune"].stages)
+        assert any(len(stage.functions) > 1
+                   for stage in APPLICATIONS["DataAn"].stages)
+
+    def test_chain_apps_are_purely_sequential(self):
+        assert all(len(stage.functions) == 1
+                   for stage in APPLICATIONS["eBank"].stages)
+        assert all(len(stage.functions) == 1
+                   for stage in APPLICATIONS["VidAn"].stages)
+
+    def test_warm_latency_sums_stage_maxima(self):
+        app = APPLICATIONS["eBook"]
+        expected = sum(
+            max(f.service_seconds(3.0) for f in stage.functions)
+            for stage in app.stages)
+        assert app.warm_latency(3.0) == pytest.approx(expected)
+
+    def test_parallel_stage_latency_is_slowest_member(self):
+        stage = next(stage for stage in APPLICATIONS["MLTune"].stages
+                     if len(stage.functions) > 1)
+        assert stage.warm_latency(3.0) == pytest.approx(
+            max(f.service_seconds(3.0) for f in stage.functions))
+
+    def test_slo_multiple(self):
+        app = APPLICATIONS["eBank"]
+        assert app.slo_seconds() == pytest.approx(5 * app.warm_latency(3.0))
+        with pytest.raises(ValueError):
+            app.slo_seconds(multiple=-1.0)
+
+    def test_stage_of(self):
+        app = APPLICATIONS["eBank"]
+        assert app.stage_of("eBank.auth") == 0
+        assert app.stage_of("eBank.log") == 5
+        with pytest.raises(KeyError):
+            app.stage_of("nope")
+
+    def test_function_lookup(self):
+        app = APPLICATIONS["VidAn"]
+        assert app.function("VidAn.decode").name == "VidAn.decode"
+        with pytest.raises(KeyError):
+            app.function("VidAn.missing")
+
+    def test_single_wraps_standalone_function(self):
+        wf = Workflow.single(CNN_SERV)
+        assert wf.name == "CNNServ"
+        assert wf.n_functions == 1
+        assert wf.warm_latency(3.0) == pytest.approx(
+            CNN_SERV.service_seconds(3.0))
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            Workflow("empty", ())
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowStage(())
+
+    def test_duplicate_function_names_rejected(self):
+        stage = WorkflowStage((CNN_SERV,))
+        with pytest.raises(ValueError):
+            Workflow("dup", (stage, stage))
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        names = benchmark_names()
+        assert len(names) == 12
+        assert names[:7] == [f.name for f in STANDALONE_FUNCTIONS]
+        assert set(names[7:]) == set(APPLICATIONS)
+
+    def test_workflow_for_every_benchmark(self):
+        for wf in all_benchmarks():
+            assert wf.n_functions >= 1
+            assert wf.slo_seconds() > 0
+
+    def test_workflow_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            workflow_for("NotABenchmark")
+
+    def test_get_function_finds_app_internals(self):
+        assert get_function("eBank.auth").name == "eBank.auth"
+        assert get_function("CNNServ") is CNN_SERV
+        with pytest.raises(KeyError):
+            get_function("ghost")
+
+    def test_get_application(self):
+        assert get_application("MLTune").n_functions == 6
+        with pytest.raises(KeyError):
+            get_application("CNNServ")
+
+    def test_all_function_names_globally_unique(self):
+        names = [f.name for wf in all_benchmarks() for f in wf.functions]
+        assert len(names) == len(set(names))

@@ -1,0 +1,148 @@
+"""Tests for invocation specs and input spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.work import WorkUnit
+from repro.workloads.inputs import (
+    FeatureSpec,
+    InputDataset,
+    SyntheticInputSpace,
+    image_space,
+    json_space,
+    tabular_space,
+    text_space,
+    video_space,
+)
+from repro.workloads.spec import BlockSegment, InvocationSpec, RunSegment
+
+
+def make_spec():
+    return InvocationSpec("f", [
+        RunSegment(WorkUnit(gcycles=3.0)),            # 1.0 s at 3 GHz
+        BlockSegment(0.5),
+        RunSegment(WorkUnit(gcycles=0.0, mem_seconds=0.2)),
+    ])
+
+
+class TestInvocationSpec:
+    def test_totals(self):
+        spec = make_spec()
+        assert spec.total_run_seconds(3.0) == pytest.approx(1.2)
+        assert spec.total_block_seconds == pytest.approx(0.5)
+        assert spec.service_time(3.0) == pytest.approx(1.7)
+
+    def test_run_time_depends_on_frequency_block_does_not(self):
+        spec = make_spec()
+        assert spec.total_run_seconds(1.5) == pytest.approx(2.2)
+        assert spec.total_block_seconds == pytest.approx(0.5)
+
+    def test_idle_fraction(self):
+        spec = make_spec()
+        assert spec.idle_fraction(3.0) == pytest.approx(0.5 / 1.7)
+
+    def test_segment_views(self):
+        spec = make_spec()
+        assert len(spec.run_segments) == 2
+        assert len(spec.block_segments) == 1
+
+    def test_must_start_with_run_segment(self):
+        with pytest.raises(ValueError):
+            InvocationSpec("f", [BlockSegment(1.0)])
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            InvocationSpec("f", [])
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSegment(-0.1)
+
+
+class TestFeatureSpec:
+    def test_lognormal_centred_on_median(self):
+        spec = FeatureSpec("x", "lognormal", (10.0, 0.5))
+        rng = np.random.default_rng(0)
+        values = [spec.sample(rng) for _ in range(2000)]
+        assert np.median(values) == pytest.approx(10.0, rel=0.1)
+
+    def test_uniform_within_bounds(self):
+        spec = FeatureSpec("x", "uniform", (2.0, 4.0))
+        rng = np.random.default_rng(0)
+        assert all(2.0 <= spec.sample(rng) <= 4.0 for _ in range(200))
+
+    def test_choice_draws_from_values(self):
+        spec = FeatureSpec("x", "choice", (1.0, 2.0))
+        rng = np.random.default_rng(0)
+        assert {spec.sample(rng) for _ in range(100)} == {1.0, 2.0}
+
+    def test_zero_dispersion_collapses_lognormal(self):
+        spec = FeatureSpec("x", "lognormal", (10.0, 0.5))
+        rng = np.random.default_rng(0)
+        assert spec.sample(rng, dispersion=0.0) == pytest.approx(10.0)
+
+    def test_dispersion_widens_spread(self):
+        spec = FeatureSpec("x", "lognormal", (10.0, 0.5))
+        narrow = np.std([
+            spec.sample(np.random.default_rng(i), dispersion=0.2)
+            for i in range(300)])
+        wide = np.std([
+            spec.sample(np.random.default_rng(i), dispersion=2.0)
+            for i in range(300)])
+        assert wide > narrow * 2
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("x", "gaussian", (0.0, 1.0))
+        with pytest.raises(ValueError):
+            FeatureSpec("x", "lognormal", (-1.0, 0.5))
+        with pytest.raises(ValueError):
+            FeatureSpec("x", "uniform", (4.0, 2.0))
+        with pytest.raises(ValueError):
+            FeatureSpec("x", "choice", ())
+
+    def test_negative_dispersion_rejected(self):
+        spec = FeatureSpec("x", "lognormal", (1.0, 0.5))
+        with pytest.raises(ValueError):
+            spec.sample(np.random.default_rng(0), dispersion=-1.0)
+
+
+class TestInputSpaces:
+    @pytest.mark.parametrize("factory", [
+        json_space, image_space, video_space, text_space, tabular_space])
+    def test_every_space_has_relevant_and_irrelevant_features(self, factory):
+        space = factory()
+        assert space.relevant_names
+        assert len(space.relevant_names) < len(space.feature_names)
+
+    def test_sample_covers_all_features(self):
+        space = image_space()
+        row = space.sample(np.random.default_rng(0))
+        assert set(row) == set(space.feature_names)
+
+    def test_duplicate_feature_names_rejected(self):
+        spec = FeatureSpec("x", "choice", (1.0,))
+        with pytest.raises(ValueError):
+            SyntheticInputSpace("bad", (spec, spec))
+
+
+class TestInputDataset:
+    def test_generate_and_matrix(self):
+        space = text_space()
+        dataset = InputDataset.generate(space, 50, np.random.default_rng(0))
+        assert len(dataset) == 50
+        matrix = dataset.to_matrix(space.feature_names)
+        assert matrix.shape == (50, len(space.feature_names))
+
+    def test_generate_needs_rows(self):
+        with pytest.raises(ValueError):
+            InputDataset.generate(text_space(), 0, np.random.default_rng(0))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generation_is_seed_deterministic(self, seed):
+        space = json_space()
+        a = InputDataset.generate(space, 5, np.random.default_rng(seed))
+        b = InputDataset.generate(space, 5, np.random.default_rng(seed))
+        assert a.rows == b.rows

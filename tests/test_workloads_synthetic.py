@@ -1,0 +1,112 @@
+"""Tests for the synthetic workload generator + an EcoFaaS stress run."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EcoFaaSSystem
+from repro.platform.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+from repro.traces.trace import Trace, TraceEvent
+from repro.workloads.synthetic import (
+    synthesize_function,
+    synthesize_population,
+    synthesize_workflow,
+)
+
+
+class TestSynthesizeFunction:
+    def test_reasonable_characteristics(self):
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            fn = synthesize_function(rng, index=i)
+            assert 0.0005 < fn.run_seconds_at_max < 3.0
+            assert 0.3 <= fn.compute_fraction <= 0.95
+            assert 0.0 <= fn.idle_fraction < 0.95
+            assert fn.cold_start_seconds > 0
+
+    def test_population_spans_three_decades(self):
+        rng = np.random.default_rng(1)
+        runs = [f.run_seconds_at_max
+                for f in synthesize_population(200, rng)]
+        assert min(runs) < 0.005
+        assert max(runs) > 0.5
+
+    def test_unique_names(self):
+        rng = np.random.default_rng(2)
+        names = [f.name for f in synthesize_population(100, rng)]
+        assert len(set(names)) == 100
+
+    def test_input_sensitivity_optional(self):
+        rng = np.random.default_rng(3)
+        plain = synthesize_function(rng, input_sensitive=False)
+        assert plain.input_model is None
+
+    def test_input_model_produces_positive_multipliers(self):
+        rng = np.random.default_rng(4)
+        fn = synthesize_function(rng)
+        if fn.input_model is not None:
+            for _ in range(20):
+                features = fn.input_model.sample_features(rng)
+                assert fn.input_model.time_multiplier(features) > 0
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_population(0, np.random.default_rng(0))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_deterministic_per_seed(self, seed):
+        a = synthesize_function(np.random.default_rng(seed))
+        b = synthesize_function(np.random.default_rng(seed))
+        assert a.run_seconds_at_max == b.run_seconds_at_max
+        assert a.name == b.name
+
+
+class TestSynthesizeWorkflow:
+    def test_structure_within_bounds(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            wf = synthesize_workflow(rng)
+            assert 2 <= wf.n_functions <= 8
+            assert all(1 <= len(s.functions) <= 2 for s in wf.stages)
+            assert wf.slo_seconds() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_workflow(np.random.default_rng(0),
+                                min_functions=5, max_functions=3)
+
+    def test_sampling_works_for_every_member(self):
+        rng = np.random.default_rng(6)
+        wf = synthesize_workflow(rng)
+        for fn in wf.functions:
+            spec = fn.sample_invocation(rng)
+            assert spec.total_run_seconds(3.0) > 0
+
+
+class TestStressEcoFaaS:
+    def test_ecofaas_handles_a_random_population(self):
+        """EcoFaaS must digest workloads it was never calibrated for."""
+        rng = np.random.default_rng(7)
+        functions = synthesize_population(8, rng)
+        from repro.workloads.applications import Workflow
+        workflows = {f.name: Workflow.single(f) for f in functions}
+        events = []
+        t = 0.1
+        arrival_rng = np.random.default_rng(8)
+        while t < 15.0:
+            name = functions[arrival_rng.integers(len(functions))].name
+            events.append(TraceEvent(t, name))
+            t += float(arrival_rng.exponential(0.1))
+        env = Environment()
+        cluster = Cluster(env, EcoFaaSSystem(),
+                          ClusterConfig(n_servers=1, seed=0, drain_s=60.0))
+        cluster.run_trace(Trace(events, 15.0), workflows=workflows)
+        metrics = cluster.metrics
+        assert metrics.completed_workflows() == len(events)
+        # The controller still saves energy relative to always-max: some
+        # run time lands below the top frequency.
+        histogram = metrics.frequency_time_histogram()
+        below_max = sum(v for f, v in histogram.items() if f < 3.0)
+        assert below_max > 0
