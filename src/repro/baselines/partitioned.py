@@ -78,13 +78,8 @@ class PartitionedNode(NodeSystem):
                seniority_time_s: Optional[float] = None) -> Job:
         job = Job(self.env, spec, benchmark, arrival_s=self.env.now,
                   deadline_s=deadline_s, seniority_time_s=seniority_time_s)
-        wait = self._attach_container(fn_model, job,
-                                      f"cold/{fn_model.name}")
-        if wait is not None:
-            wait.callbacks.append(
-                lambda ev, fn=fn_model, j=job: self._enqueue(fn, j))
-        else:
-            self._enqueue(fn_model, job)
+        self._submit_with_container(fn_model, job, f"cold/{fn_model.name}",
+                                    self._enqueue)
         return job
 
     @property
@@ -113,7 +108,9 @@ class PartitionedNode(NodeSystem):
                 per_job_frequency=self.per_job_frequency,
                 switch_cost=self.switch_cost,
                 on_complete=self._on_job_complete,
-                on_core_released=self._free_cores.append)
+                on_core_released=self._free_cores.append,
+                cost_scale=self.dvfs_cost_scale,
+                block_latency=self.rpc_latency_scale)
             self._rebalance()
         return self._pools[function_name]
 
@@ -124,8 +121,30 @@ class PartitionedNode(NodeSystem):
     def _repartition_loop(self):
         while True:
             yield self.env.timeout(self.repartition_interval_s)
+            if self.down:
+                continue
             self._retire_idle_pools()
             self._rebalance()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def _abort_all_jobs(self) -> List[Job]:
+        lost: List[Job] = []
+        for pool in self._pools.values():
+            lost.extend(pool.abort_all())
+        return lost
+
+    def _rebuild(self) -> None:
+        """Reboot with no ownership knowledge: all cores free, no pools.
+
+        ``abort_all`` left every core idle, so the whole machine returns
+        to the free list; pools are re-created on demand as invocations
+        arrive, exactly like a freshly booted node.
+        """
+        self._pools = {}
+        self._last_activity = {}
+        self._free_cores = list(self.server.cores)
 
     def _retire_idle_pools(self) -> None:
         cutoff = self.env.now - POOL_IDLE_TIMEOUT_S

@@ -77,9 +77,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.experiment == "all":
+        # One failing experiment must not abort the whole sweep: run every
+        # one, report the failures at the end, and exit non-zero if any.
+        failures: List[str] = []
         for key in EXPERIMENTS:
-            _run_one(key, quick=not args.full, seed=args.seed,
-                     chart=args.chart)
+            try:
+                _run_one(key, quick=not args.full, seed=args.seed,
+                         chart=args.chart)
+            except Exception as error:  # noqa: BLE001 - sweep must go on
+                failures.append(key)
+                print(f"[{key} FAILED: {type(error).__name__}: {error}]",
+                      file=sys.stderr)
+                print()
+        if failures:
+            print(f"{len(failures)} experiment(s) failed:"
+                  f" {', '.join(failures)}", file=sys.stderr)
+            return 1
         return 0
 
     if args.experiment not in EXPERIMENTS:

@@ -76,7 +76,9 @@ class EcoFaaSNode(NodeSystem):
             switch_cost=lambda: self.config.kernel_switch_cost_s,
             freq_change_cost_s=self.config.kernel_switch_cost_s,
             on_complete=self._on_job_complete,
-            on_core_released=self._core_released)
+            on_core_released=self._core_released,
+            cost_scale=self.dvfs_cost_scale,
+            block_latency=self.rpc_latency_scale)
 
     def active_pools(self) -> List[CorePoolScheduler]:
         """Usable pools, sorted by frequency ascending; never empty."""
@@ -109,12 +111,8 @@ class EcoFaaSNode(NodeSystem):
                seniority_time_s: Optional[float] = None) -> Job:
         job = Job(self.env, spec, benchmark, arrival_s=self.env.now,
                   deadline_s=deadline_s, seniority_time_s=seniority_time_s)
-        wait = self._attach_container(fn_model, job, f"cold/{fn_model.name}")
-        if wait is not None:
-            wait.callbacks.append(
-                lambda ev, fn=fn_model, j=job: self._dispatch(fn, j))
-        else:
-            self._dispatch(fn_model, job)
+        self._submit_with_container(fn_model, job, f"cold/{fn_model.name}",
+                                    self._dispatch)
         return job
 
     @property
@@ -165,6 +163,8 @@ class EcoFaaSNode(NodeSystem):
     # ------------------------------------------------------------------
     def prewarm(self, fn_model: FunctionModel, budget_s: float,
                 benchmark: str) -> None:
+        if self.down:
+            return
         if self.containers.state(fn_model.name) != "cold":
             return
         self.containers.begin_cold_start(fn_model.name)
@@ -227,7 +227,38 @@ class EcoFaaSNode(NodeSystem):
     def _refresh_loop(self):
         while True:
             yield self.env.timeout(self.config.t_refresh_s)
+            if self.down:
+                continue
             self.refresh()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def _abort_all_jobs(self) -> List[Job]:
+        lost: List[Job] = []
+        for pool in self._pools + self._retiring:
+            lost.extend(pool.abort_all())
+        return lost
+
+    def _rebuild(self) -> None:
+        """Reboot to the no-knowledge-yet default: one max-frequency pool.
+
+        Every transient controller structure (pools, demand histograms,
+        dispatchers, the free-core list) is rebuilt from scratch —
+        ``abort_all`` left every core idle, so they all join the fresh
+        pool. Function profiles live in the shared :class:`ProfileStore`
+        (a persistent service in the paper's design), so learned behaviour
+        survives the reboot; EWT counters do not, which is exactly the
+        no-leak property the invariant tests check.
+        """
+        self._free = []
+        self._retiring = []
+        self._targets = {}
+        self._demand = {}
+        self._demand_ewma = {}
+        self._dispatchers = {}
+        self._pools = [self._make_pool(self.scale.max,
+                                       list(self.server.cores))]
 
     def refresh(self) -> None:
         """Recompute the pool set from the window's demand and stats."""

@@ -45,4 +45,5 @@ EXPERIMENTS = {
     "overheads": "repro.experiments.section8d_overheads",
     "ablations": "repro.experiments.ablations",
     "heterogeneous": "repro.experiments.heterogeneous",
+    "chaos": "repro.experiments.chaos",
 }

@@ -99,14 +99,18 @@ def make_systems(ecofaas_config: Optional[EcoFaaSConfig] = None) -> Dict[str, ob
 
 def run_cluster(system, trace: Trace,
                 config: Optional[ClusterConfig] = None,
-                sample_period_s: Optional[float] = None) -> Cluster:
+                sample_period_s: Optional[float] = None,
+                fault_plan=None) -> Cluster:
     """Run one trace on one system; returns the finalized cluster.
 
     ``sample_period_s`` arms periodic frequency-timeline sampling on every
-    server (the Fig. 14 data source).
+    server (the Fig. 14 data source). ``fault_plan`` arms deterministic
+    fault injection (``repro.faults``); None or an empty plan leaves the
+    run untouched.
     """
     env = Environment()
-    cluster = Cluster(env, system, config or ClusterConfig())
+    cluster = Cluster(env, system, config or ClusterConfig(),
+                      fault_plan=fault_plan)
     if sample_period_s is not None:
         def sampler():
             while True:
@@ -120,12 +124,13 @@ def run_cluster(system, trace: Trace,
 
 def run_three_systems(trace: Trace, config: Optional[ClusterConfig] = None,
                       ecofaas_config: Optional[EcoFaaSConfig] = None,
-                      sample_period_s: Optional[float] = None
-                      ) -> Dict[str, Cluster]:
+                      sample_period_s: Optional[float] = None,
+                      fault_plan=None) -> Dict[str, Cluster]:
     """Run the same trace on Baseline, Baseline+PowerCtrl, and EcoFaaS."""
     clusters = {}
     for name, system in make_systems(ecofaas_config).items():
-        clusters[name] = run_cluster(system, trace, config, sample_period_s)
+        clusters[name] = run_cluster(system, trace, config, sample_period_s,
+                                     fault_plan=fault_plan)
     return clusters
 
 

@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the simulated platform.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — a :class:`FaultPlan` is pure data: a seeded,
+  sorted schedule of :class:`FaultEvent` entries (node crash + reboot,
+  per-container kill, storage/RPC latency spike, DVFS-driver stall).
+  Building a plan draws from its own named RNG stream, so plans are
+  bit-identical per seed and never perturb workload sampling.
+* :mod:`repro.faults.injector` — a :class:`FaultInjector` replays a plan
+  into a running :class:`~repro.platform.cluster.Cluster` as ordinary
+  ``repro.sim`` processes, making chaos runs exactly as reproducible as
+  fault-free ones.
+
+The recovery half lives in ``repro.platform``: the frontend's
+:class:`~repro.platform.reliability.ReliabilityPolicy` (retry/backoff,
+timeout, hedging) and the node controllers' crash/reboot hooks. With no
+plan and no policy, every code path is provably inert.
+"""
+
+from repro.faults.plan import (
+    CONTAINER_KILL,
+    DVFS_STALL,
+    FAULT_KINDS,
+    NODE_CRASH,
+    RPC_SPIKE,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "CONTAINER_KILL",
+    "DVFS_STALL",
+    "FAULT_KINDS",
+    "NODE_CRASH",
+    "RPC_SPIKE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+]

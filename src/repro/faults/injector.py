@@ -1,0 +1,104 @@
+"""Replays a :class:`FaultPlan` into a running cluster.
+
+Every scheduled fault becomes one ordinary ``repro.sim`` process, so chaos
+runs replay bit-identically: the injector adds no randomness of its own,
+and an empty plan spawns nothing at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.faults.plan import (
+    CONTAINER_KILL,
+    DVFS_STALL,
+    NODE_CRASH,
+    RPC_SPIKE,
+    FaultEvent,
+    FaultPlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import Cluster
+    from repro.platform.system import NodeSystem
+
+
+class FaultInjector:
+    """Drives a fault plan into one cluster as simulation processes."""
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan):
+        self.cluster = cluster
+        self.plan = plan
+        self.metrics = cluster.metrics
+        #: ``(time_s, kind, node_index)`` log of faults actually applied
+        #: (crashes on an already-down node, for example, are skipped).
+        self.applied: List[Tuple[float, str, int]] = []
+        # Active multiplicative factors per node, recomputed as products so
+        # overlapping spikes compose and restore exactly.
+        self._rpc_active: Dict[int, List[float]] = {}
+        self._dvfs_active: Dict[int, List[float]] = {}
+
+    def arm(self) -> None:
+        """Spawn one driver process per scheduled fault."""
+        for i, event in enumerate(self.plan.events):
+            self.cluster.env.process(
+                self._drive(event),
+                name=f"fault-{i}-{event.kind}")
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def _node(self, event: FaultEvent) -> Tuple[int, "NodeSystem"]:
+        index = event.node % len(self.cluster.nodes)
+        return index, self.cluster.nodes[index]
+
+    def _drive(self, event: FaultEvent):
+        env = self.cluster.env
+        delay = event.time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        index, node = self._node(event)
+        if event.kind == NODE_CRASH:
+            if node.down:
+                return  # overlapping crash on a node already down
+            lost = node.crash()
+            self.metrics.record_crash(
+                len(lost), sum(job.energy_j for job in lost))
+            self.applied.append((env.now, NODE_CRASH, index))
+            yield env.timeout(event.duration_s)
+            node.reboot()
+            self.metrics.record_recovery(event.duration_s)
+        elif event.kind == CONTAINER_KILL:
+            if node.down:
+                return  # nothing to kill: the node itself is dead
+            prior = node.kill_container(event.function)
+            if prior != "cold":
+                self.metrics.record_failure(CONTAINER_KILL)
+                self.applied.append((env.now, CONTAINER_KILL, index))
+        elif event.kind == RPC_SPIKE:
+            self.metrics.record_failure(RPC_SPIKE)
+            self.applied.append((env.now, RPC_SPIKE, index))
+            yield from self._windowed(node, self._rpc_active, index,
+                                      event, "rpc_latency_factor")
+        elif event.kind == DVFS_STALL:
+            self.metrics.record_failure(DVFS_STALL)
+            self.applied.append((env.now, DVFS_STALL, index))
+            yield from self._windowed(node, self._dvfs_active, index,
+                                      event, "dvfs_stall_factor")
+
+    def _windowed(self, node: "NodeSystem",
+                  active: Dict[int, List[float]], index: int,
+                  event: FaultEvent, attribute: str):
+        """Apply a multiplicative factor for the event's window.
+
+        The node attribute is always recomputed as the product of the
+        currently active magnitudes, so overlapping windows compose and
+        the factor returns to exactly 1.0 once all of them end.
+        """
+        factors = active.setdefault(index, [])
+        factors.append(event.magnitude)
+        setattr(node, attribute, math.prod(factors, start=1.0))
+        yield self.cluster.env.timeout(event.duration_s)
+        factors.remove(event.magnitude)
+        setattr(node, attribute, math.prod(factors, start=1.0))

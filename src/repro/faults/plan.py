@@ -1,0 +1,161 @@
+"""Fault schedules as pure data.
+
+A :class:`FaultPlan` is a time-sorted tuple of :class:`FaultEvent` entries.
+Plans are built *before* the simulation starts, from their own seeded RNG
+(derived the same way as :class:`repro.sim.rng.RngRegistry` streams), so
+
+* the same seed always produces the identical schedule, and
+* building a plan never touches the streams workload sampling uses —
+  adding faults cannot perturb the fault-free portion of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import stable_hash
+
+#: A node power-fails: in-flight jobs are lost, container state dies, and
+#: the node rejoins ``duration_s`` later with a rebuilt controller.
+NODE_CRASH = "node_crash"
+#: One function's container on one node is killed (OOM-style): a warm
+#: container vanishes, an in-flight cold start is discarded.
+CONTAINER_KILL = "container_kill"
+#: Storage/RPC latency spike: block segments on the node stretch by
+#: ``magnitude`` for ``duration_s`` (this is also how remote-call timeouts
+#: manifest to the platform — the reliability policy's per-invocation
+#: timeout is what turns a long-enough spike into an abandoned attempt).
+RPC_SPIKE = "rpc_spike"
+#: Frequency-driver stall: DVFS transitions on the node cost ``magnitude``
+#: times more for ``duration_s``.
+DVFS_STALL = "dvfs_stall"
+
+FAULT_KINDS = (NODE_CRASH, CONTAINER_KILL, RPC_SPIKE, DVFS_STALL)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    time_s: float
+    kind: str
+    #: Target node index (modulo the cluster size at injection time).
+    node: int = 0
+    #: Target function name (container kills only).
+    function: Optional[str] = None
+    #: Crash downtime, or spike/stall window length.
+    duration_s: float = 0.0
+    #: Latency / transition-cost multiplier (spikes and stalls).
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of"
+                f" {FAULT_KINDS}")
+        if self.time_s < 0:
+            raise ValueError(f"negative fault time {self.time_s}")
+        if self.node < 0:
+            raise ValueError(f"negative node index {self.node}")
+        if self.duration_s < 0:
+            raise ValueError(f"negative fault duration {self.duration_s}")
+        if self.magnitude <= 0:
+            raise ValueError(f"magnitude must be positive: {self.magnitude}")
+        if self.kind == NODE_CRASH and self.duration_s <= 0:
+            raise ValueError("a node crash needs a positive downtime")
+        if self.kind == CONTAINER_KILL and not self.function:
+            raise ValueError("a container kill needs a function name")
+        if self.kind in (RPC_SPIKE, DVFS_STALL) and self.duration_s <= 0:
+            raise ValueError(f"a {self.kind} needs a positive window")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, time-sorted fault schedule."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events,
+                               key=lambda e: (e.time_s, e.kind, e.node)))
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def has_node_crashes(self) -> bool:
+        return any(e.kind == NODE_CRASH for e in self.events)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty (all-zero) plan: injecting it changes nothing."""
+        return cls()
+
+    @classmethod
+    def calibrated(cls, duration_s: float, n_servers: int,
+                   functions: Sequence[str], seed: int = 0,
+                   crashes_per_node_hour: float = 60.0,
+                   kills_per_node_hour: float = 240.0,
+                   spikes_per_hour: float = 120.0,
+                   stalls_per_hour: float = 60.0,
+                   min_crashes: int = 1) -> "FaultPlan":
+        """The default chaos mix, scaled to the run length and cluster size.
+
+        The rates are calibrated for simulation-scale runs (minutes, not
+        months): aggressive enough that a quick chaos run exercises every
+        fault kind and the retry machinery, which is the point of the
+        experiment. ``min_crashes`` guarantees the recovery path fires at
+        least once even on very short runs. Faults land in the first 70 %
+        of the run so reboots and retries can drain before it ends.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        if n_servers < 1:
+            raise ValueError(f"need at least one server: {n_servers}")
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, stable_hash("faults/plan")]))
+        hours = duration_s / 3600.0
+        window = (0.05 * duration_s, 0.70 * duration_s)
+
+        def times(count: int) -> List[float]:
+            return sorted(float(t) for t in rng.uniform(*window, size=count))
+
+        events: List[FaultEvent] = []
+        n_crashes = max(min_crashes,
+                        int(rng.poisson(crashes_per_node_hour
+                                        * n_servers * hours)))
+        for t in times(n_crashes):
+            events.append(FaultEvent(
+                time_s=t, kind=NODE_CRASH,
+                node=int(rng.integers(n_servers)),
+                duration_s=float(rng.uniform(2.0, 5.0))))
+        if functions:
+            n_kills = int(rng.poisson(kills_per_node_hour
+                                      * n_servers * hours))
+            for t in times(n_kills):
+                events.append(FaultEvent(
+                    time_s=t, kind=CONTAINER_KILL,
+                    node=int(rng.integers(n_servers)),
+                    function=str(rng.choice(list(functions)))))
+        for t in times(int(rng.poisson(spikes_per_hour * hours))):
+            events.append(FaultEvent(
+                time_s=t, kind=RPC_SPIKE,
+                node=int(rng.integers(n_servers)),
+                duration_s=float(rng.uniform(1.0, 3.0)),
+                magnitude=float(rng.uniform(2.0, 6.0))))
+        for t in times(int(rng.poisson(stalls_per_hour * hours))):
+            events.append(FaultEvent(
+                time_s=t, kind=DVFS_STALL,
+                node=int(rng.integers(n_servers)),
+                duration_s=float(rng.uniform(1.0, 3.0)),
+                magnitude=float(rng.uniform(50.0, 200.0))))
+        return cls(tuple(events))

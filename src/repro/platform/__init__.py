@@ -21,6 +21,7 @@ from repro.platform.metrics import (
     WorkflowRecord,
     percentile,
 )
+from repro.platform.reliability import ReliabilityPolicy
 from repro.platform.scheduler import CorePoolScheduler, SchedulerStats
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "FunctionRecord",
     "Job",
     "MetricsCollector",
+    "ReliabilityPolicy",
     "SchedulerStats",
     "WorkflowRecord",
     "percentile",

@@ -15,6 +15,7 @@ from repro.hardware.frequency import FrequencyScale
 from repro.hardware.power import PowerModel
 from repro.hardware.server import Server
 from repro.platform.metrics import MetricsCollector
+from repro.platform.reliability import ALL_DOWN_POLL_S, ReliabilityPolicy
 from repro.platform.system import ClusterSystem, NodeSystem
 from repro.sim.engine import Environment
 from repro.sim.rng import RngRegistry
@@ -41,6 +42,9 @@ class ClusterConfig:
     #: ``(machine_type, ipc_factor)`` pairs cycled over the servers.
     #: None = all servers are identical ("haswell", 1.0).
     machine_mix: Optional[tuple] = None
+    #: Frontend reliability policy (repro.faults). None = the original
+    #: fire-and-wait dispatch path, byte-for-byte.
+    reliability: Optional[ReliabilityPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -57,7 +61,8 @@ class Cluster:
     """A cluster running one serverless system."""
 
     def __init__(self, env: Environment, system: ClusterSystem,
-                 config: Optional[ClusterConfig] = None):
+                 config: Optional[ClusterConfig] = None,
+                 fault_plan: Optional[object] = None):
         self.env = env
         self.system = system
         self.config = config or ClusterConfig()
@@ -78,15 +83,36 @@ class Cluster:
         self._rr_index = 0
         #: Workflows in flight (for drain diagnostics).
         self.inflight = 0
+        #: Armed fault injector, when a non-empty plan was supplied.
+        self.fault_injector = None
+        if fault_plan is not None and fault_plan.events:
+            if fault_plan.has_node_crashes and self.config.reliability is None:
+                raise ValueError(
+                    "a fault plan with node crashes loses in-flight jobs;"
+                    " configure ClusterConfig.reliability so the frontend"
+                    " re-dispatches them")
+            from repro.faults.injector import FaultInjector
+            self.fault_injector = FaultInjector(self, fault_plan)
+            self.fault_injector.arm()
 
     # ------------------------------------------------------------------
     # Load balancing (Fig. 1's Cluster Controller)
     # ------------------------------------------------------------------
-    def pick_node(self) -> NodeSystem:
-        """Least outstanding jobs; round-robin among ties."""
-        best = min(node.outstanding for node in self.nodes)
-        candidates = [i for i, node in enumerate(self.nodes)
-                      if node.outstanding == best]
+    def pick_node(self, exclude: Optional[NodeSystem] = None
+                  ) -> Optional[NodeSystem]:
+        """Least outstanding jobs among up nodes; round-robin among ties.
+
+        ``exclude`` skips one node (hedged re-dispatch wants a *different*
+        machine) unless it is the only one standing. Returns None when
+        every node is down.
+        """
+        up = [i for i, node in enumerate(self.nodes) if not node.down]
+        if not up:
+            return None
+        if exclude is not None and len(up) > 1:
+            up = [i for i in up if self.nodes[i] is not exclude] or up
+        best = min(self.nodes[i].outstanding for i in up)
+        candidates = [i for i in up if self.nodes[i].outstanding == best]
         choice = candidates[self._rr_index % len(candidates)]
         self._rr_index += 1
         return self.nodes[choice]
@@ -103,25 +129,135 @@ class Cluster:
         slo_s = workflow.slo_seconds(self.config.slo_multiple)
         deadlines = self.system.function_deadlines(workflow, arrival_s, slo_s)
         self.system.on_workflow_arrival(self, workflow, arrival_s, deadlines)
+        policy = self.config.reliability
         self.inflight += 1
+        failed = False
         try:
             for stage in workflow.stages:
-                jobs = []
+                waits = []
                 for fn_model in stage.functions:
                     spec = fn_model.sample_invocation(
                         self.rng.stream(f"inputs/{fn_model.name}"),
                         dispersion=self.config.input_dispersion)
                     deadline = (deadlines.get(fn_model.name)
                                 if deadlines is not None else None)
-                    node = self.pick_node()
-                    jobs.append(node.submit(
-                        fn_model, spec, deadline, workflow.name,
-                        seniority_time_s=arrival_s))
-                yield self.env.all_of([job.done for job in jobs])
-            self.metrics.record_workflow(
-                workflow.name, arrival_s, self.env.now - arrival_s, slo_s)
+                    if policy is None:
+                        node = self.pick_node()
+                        waits.append(node.submit(
+                            fn_model, spec, deadline, workflow.name,
+                            seniority_time_s=arrival_s).done)
+                    else:
+                        waits.append(self.env.process(
+                            self._invoke_reliably(
+                                fn_model, spec, deadline, workflow.name,
+                                arrival_s),
+                            name=f"invoke-{fn_model.name}"))
+                yield self.env.all_of(waits)
+                if policy is not None and any(p.value is None for p in waits):
+                    # An invocation was lost for good: the workflow cannot
+                    # produce its result, so later stages never run.
+                    failed = True
+                    break
+            if failed:
+                self.metrics.record_workflow_failure(workflow.name)
+            else:
+                self.metrics.record_workflow(
+                    workflow.name, arrival_s, self.env.now - arrival_s, slo_s)
         finally:
             self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Reliability layer (repro.faults)
+    # ------------------------------------------------------------------
+    def _await_up_node(self, exclude: Optional[NodeSystem] = None):
+        """Yield until some node is up, then return it (generator helper)."""
+        while True:
+            node = self.pick_node(exclude)
+            if node is not None:
+                return node
+            yield self.env.timeout(ALL_DOWN_POLL_S)
+
+    def _invoke_reliably(self, fn_model, spec, deadline_s: Optional[float],
+                         benchmark: str, arrival_s: float):
+        """Shepherd one invocation to completion under the policy.
+
+        Submits a pristine clone of ``spec`` per attempt (work units are
+        consumed in place), detects crash-aborted attempts via their
+        ``done`` event, applies the per-attempt timeout and hedged
+        re-dispatch, and backs off exponentially (with deterministic
+        jitter) between retries. Returns the winning job, or None once
+        every retry is exhausted.
+        """
+        policy = self.config.reliability
+        attempt = 0
+        lost_to_crash_here = 0
+        while True:
+            if attempt > 0:
+                self.metrics.record_retry()
+                draw = 0.0
+                if policy.backoff_jitter > 0:
+                    draw = float(self.rng.stream(
+                        "reliability/jitter").uniform(-1.0, 1.0))
+                backoff = policy.backoff_s(attempt, draw)
+                if backoff > 0:
+                    yield self.env.timeout(backoff)
+            node = yield from self._await_up_node()
+            job = node.submit(fn_model, spec.clone(), deadline_s, benchmark,
+                              seniority_time_s=arrival_s)
+            job.attempt = attempt
+            jobs = [job]
+            timeout_ev = (self.env.timeout(policy.invocation_timeout_s)
+                          if policy.invocation_timeout_s is not None else None)
+            hedge_ev = (self.env.timeout(policy.hedge_after_s)
+                        if policy.hedge_after_s is not None else None)
+            attempt_failed = False
+            while not attempt_failed:
+                waits = [j.done for j in jobs]
+                if timeout_ev is not None:
+                    waits.append(timeout_ev)
+                if hedge_ev is not None:
+                    waits.append(hedge_ev)
+                yield self.env.any_of(waits)
+                winner = next((j for j in jobs if j.finished), None)
+                if winner is not None:
+                    for other in jobs:
+                        if other is not winner and not other.aborted:
+                            other.abandoned = True
+                    lost_to_crash_here += sum(1 for j in jobs if j.aborted)
+                    self.metrics.crash_redispatches += lost_to_crash_here
+                    return winner
+                if all(j.aborted for j in jobs):
+                    lost_to_crash_here += len(jobs)
+                    attempt_failed = True
+                    break
+                if timeout_ev is not None and timeout_ev.processed:
+                    # Written off: surviving attempts keep running, but
+                    # their outcome is wasted work now.
+                    for j in jobs:
+                        if not j.aborted:
+                            j.abandoned = True
+                    lost_to_crash_here += sum(1 for j in jobs if j.aborted)
+                    self.metrics.record_timeout()
+                    attempt_failed = True
+                    break
+                if hedge_ev is not None and hedge_ev.processed:
+                    hedge_ev = None
+                    other = self.pick_node(exclude=node)
+                    if other is not None and other is not node:
+                        duplicate = other.submit(
+                            fn_model, spec.clone(), deadline_s, benchmark,
+                            seniority_time_s=arrival_s)
+                        duplicate.attempt = attempt
+                        jobs.append(duplicate)
+                        self.metrics.record_hedge()
+                    continue
+                # Some (not all) attempts crashed: drop them, keep waiting.
+                lost_to_crash_here += sum(1 for j in jobs if j.aborted)
+                jobs = [j for j in jobs if not j.aborted]
+            attempt += 1
+            if attempt > policy.max_retries:
+                self.metrics.lost_invocations += 1
+                return None
 
     # ------------------------------------------------------------------
     # Trace driving

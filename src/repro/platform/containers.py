@@ -30,9 +30,13 @@ class ContainerManager:
         self.keep_alive_s = keep_alive_s
         self._warm_until: Dict[str, float] = {}
         self._starting: Dict[str, Event] = {}
+        #: Cold starts whose container was killed mid-boot: their eventual
+        #: :meth:`finish_cold_start` must be swallowed, not warm anything.
+        self._doomed: Dict[str, int] = {}
         #: Statistics.
         self.cold_starts = 0
         self.warm_hits = 0
+        self.kills = 0
 
     def state(self, function_name: str) -> str:
         """``"warm"``, ``"starting"``, or ``"cold"``."""
@@ -77,13 +81,49 @@ class ContainerManager:
                 f"{function_name!r} has no cold start in flight") from None
 
     def finish_cold_start(self, function_name: str) -> None:
-        """Transition starting → warm and wake all waiters."""
+        """Transition starting → warm and wake all waiters.
+
+        A boot whose container was killed mid-flight (see :meth:`kill`)
+        lands here too once its setup work drains; it is swallowed — the
+        container it built no longer exists, so nothing becomes warm.
+        """
+        doomed = self._doomed.get(function_name, 0)
+        if doomed > 0:
+            if doomed == 1:
+                del self._doomed[function_name]
+            else:
+                self._doomed[function_name] = doomed - 1
+            return
         event = self._starting.pop(function_name, None)
         if event is None:
             raise RuntimeError(
                 f"{function_name!r} had no cold start in flight")
         self._warm_until[function_name] = self.env.now + self.keep_alive_s
         event.succeed(function_name)
+
+    def kill(self, function_name: str) -> str:
+        """Fault hook: the function's container on this node dies now.
+
+        Returns the state the container was in. A *warm* container simply
+        disappears (an invocation currently executing is assumed to finish
+        under the runtime's termination grace period); the next arrival
+        pays a fresh cold start. A *starting* container discards its
+        in-flight boot: the ready event fires with a ``None`` payload so
+        waiters can re-resolve (one of them launches a new cold start —
+        nobody is left stuck), and the doomed boot's eventual
+        ``finish_cold_start`` is swallowed. Killing a cold container is a
+        no-op.
+        """
+        prior = self.state(function_name)
+        self._warm_until.pop(function_name, None)
+        event = self._starting.pop(function_name, None)
+        if event is not None:
+            self._doomed[function_name] = (
+                self._doomed.get(function_name, 0) + 1)
+            event.succeed(None)
+        if prior != "cold":
+            self.kills += 1
+        return prior
 
     def record_warm_hit(self) -> None:
         self.warm_hits += 1

@@ -45,6 +45,17 @@ class Job:
         #: Prewarm pseudo-jobs boot a container but carry no real work;
         #: they are excluded from latency metrics and profiling.
         self.is_prewarm = False
+        #: Set when a node crash killed this attempt: it will never run to
+        #: completion, and late wake-ups (block timers, container events)
+        #: must ignore it.
+        self.aborted = False
+        #: Set when the frontend gave up on this attempt (per-invocation
+        #: timeout, or it lost a hedge race) while it keeps executing; its
+        #: completion is wasted work charged to retry energy.
+        self.abandoned = False
+        #: Retry attempt index assigned by the reliability layer (0 = the
+        #: first try).
+        self.attempt = 0
         #: Optional corrective-action hook (paper Section V): called by the
         #: scheduler at every dispatch with the planned frequency; returns
         #: the (possibly raised) frequency to actually run at, letting the
@@ -206,10 +217,26 @@ class Job:
         """Mark the job finished and fire its completion event."""
         if self.finished:
             raise RuntimeError(f"{self!r} completed twice")
+        if self.aborted:
+            raise RuntimeError(f"{self!r} was aborted; it cannot complete")
         if not self.is_complete:
             raise RuntimeError(f"{self!r} has segments left")
         self.completion_time = self.env.now
         self.done.succeed(self)
+
+    def abort(self) -> None:
+        """Kill this attempt (node crash): it will never complete.
+
+        The ``done`` event still fires — with the job as payload — so a
+        reliability loop waiting on it wakes up and can re-dispatch;
+        ``finished`` stays False, which is how waiters tell success from
+        loss. Idempotent.
+        """
+        if self.finished:
+            raise RuntimeError(f"{self!r} already finished; cannot abort")
+        self.aborted = True
+        if not self.done.triggered:
+            self.done.succeed(self)
 
     # ------------------------------------------------------------------
     # Derived results

@@ -12,11 +12,16 @@ from repro.platform.job import Job
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """The p-th percentile (0-100) of ``values``."""
+    """The p-th percentile (0-100) of ``values``.
+
+    An empty ``values`` yields NaN — "no data", distinguishable from a
+    genuine 0.0 latency — so partial runs (e.g. chaos experiments where a
+    benchmark never completed) roll up without raising.
+    """
     if not 0 <= p <= 100:
         raise ValueError(f"percentile must be in [0, 100]: {p}")
     if len(values) == 0:
-        raise ValueError("cannot take a percentile of nothing")
+        return float("nan")
     return float(np.percentile(np.asarray(values, dtype=float), p))
 
 
@@ -75,17 +80,94 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.function_records: List[FunctionRecord] = []
         self.workflow_records: List[WorkflowRecord] = []
+        # Reliability counters (repro.faults). All stay zero on fault-free
+        # runs.
+        #: Re-dispatched attempts (the frontend retried an invocation).
+        self.retries = 0
+        #: Hedged duplicate attempts launched.
+        self.hedges = 0
+        #: Attempts written off by the per-invocation timeout.
+        self.timeouts = 0
+        #: Injected faults that actually hit something, by kind.
+        self.failures: Dict[str, int] = {}
+        #: Outage durations of every completed crash→reboot cycle.
+        self.recovery_times_s: List[float] = []
+        #: In-flight (non-prewarm) jobs aborted by node crashes.
+        self.jobs_lost_to_crash = 0
+        #: Crash-lost jobs whose invocation was later completed by another
+        #: attempt (re-dispatch or a surviving hedge).
+        self.crash_redispatches = 0
+        #: Invocations abandoned after exhausting every retry.
+        self.lost_invocations = 0
+        #: Workflows that failed because one invocation was lost for good.
+        self.failed_workflows = 0
+        #: Energy burned by attempts that did not produce the result used:
+        #: crash-lost partial executions plus abandoned attempts that ran
+        #: to completion anyway.
+        self.retry_energy_j = 0.0
+        #: Abandoned attempts that finished executing after being written
+        #: off.
+        self.abandoned_completions = 0
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_job(self, job: Job) -> None:
+        if job.abandoned:
+            # A written-off attempt ran to completion anyway: its energy is
+            # retry waste, and it must not contribute a latency record (the
+            # winning attempt already did, or the invocation was lost).
+            self.retry_energy_j += job.energy_j
+            self.abandoned_completions += 1
+            return
         self.function_records.append(FunctionRecord.from_job(job))
 
     def record_workflow(self, benchmark: str, arrival_s: float,
                         latency_s: float, slo_s: float) -> None:
         self.workflow_records.append(
             WorkflowRecord(benchmark, arrival_s, latency_s, slo_s))
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_hedge(self) -> None:
+        self.hedges += 1
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+
+    def record_failure(self, kind: str) -> None:
+        self.failures[kind] = self.failures.get(kind, 0) + 1
+
+    def record_crash(self, lost_jobs: int, lost_energy_j: float) -> None:
+        """A node crashed, killing ``lost_jobs`` in-flight jobs."""
+        self.record_failure("node_crash")
+        self.jobs_lost_to_crash += lost_jobs
+        self.retry_energy_j += lost_energy_j
+
+    def record_recovery(self, downtime_s: float) -> None:
+        """A crashed node finished rebooting after ``downtime_s``."""
+        if downtime_s < 0:
+            raise ValueError(f"negative downtime {downtime_s}")
+        self.recovery_times_s.append(downtime_s)
+
+    def record_workflow_failure(self, benchmark: str) -> None:
+        self.failed_workflows += 1
+        self.record_failure(f"workflow:{benchmark}")
+
+    # ------------------------------------------------------------------
+    # Reliability rollups
+    # ------------------------------------------------------------------
+    def mttr_s(self) -> float:
+        """Mean time to recover across crash→reboot cycles (0.0 if none)."""
+        if not self.recovery_times_s:
+            return 0.0
+        return float(np.mean(self.recovery_times_s))
+
+    def failure_count(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.failures.get(kind, 0)
+        return sum(self.failures.values())
 
     # ------------------------------------------------------------------
     # End-to-end rollups (what the figures report)
@@ -95,23 +177,29 @@ class MetricsCollector:
                 if benchmark is None or r.benchmark == benchmark]
 
     def latency_avg(self, benchmark: Optional[str] = None) -> float:
+        """Mean end-to-end latency; 0.0 when no workflow completed."""
         values = self._workflow_latencies(benchmark)
         if not values:
-            raise ValueError(f"no workflow records for {benchmark!r}")
+            return 0.0
         return float(np.mean(values))
 
     def latency_p99(self, benchmark: Optional[str] = None) -> float:
-        """Tail latency as the paper defines it (99th percentile)."""
+        """Tail latency as the paper defines it (99th percentile).
+
+        NaN when no workflow completed (see :func:`percentile`).
+        """
         values = self._workflow_latencies(benchmark)
-        if not values:
-            raise ValueError(f"no workflow records for {benchmark!r}")
         return percentile(values, 99.0)
 
     def slo_violation_rate(self, benchmark: Optional[str] = None) -> float:
+        """Fraction of completed workflows that blew their SLO.
+
+        0.0 when no workflow completed (nothing violated nothing).
+        """
         records = [r for r in self.workflow_records
                    if benchmark is None or r.benchmark == benchmark]
         if not records:
-            raise ValueError(f"no workflow records for {benchmark!r}")
+            return 0.0
         return sum(1 for r in records if not r.met_slo) / len(records)
 
     def completed_workflows(self, benchmark: Optional[str] = None) -> int:
@@ -135,17 +223,21 @@ class MetricsCollector:
                    and (benchmark is None or r.benchmark == benchmark))
 
     def deadline_miss_rate(self) -> float:
+        """Fraction of invocations missing their deadline; 0.0 if none ran."""
         if not self.function_records:
-            raise ValueError("no function records")
+            return 0.0
         return (sum(1 for r in self.function_records if not r.met_deadline)
                 / len(self.function_records))
 
     def mean_breakdown(self, benchmark: Optional[str] = None) -> Dict[str, float]:
-        """Mean T_Queue / T_Run / T_Block across function records."""
+        """Mean T_Queue / T_Run / T_Block across function records.
+
+        All-zero when no invocation completed.
+        """
         records = [r for r in self.function_records
                    if benchmark is None or r.benchmark == benchmark]
         if not records:
-            raise ValueError(f"no function records for {benchmark!r}")
+            return {"t_queue": 0.0, "t_run": 0.0, "t_block": 0.0}
         return {
             "t_queue": float(np.mean([r.t_queue_s for r in records])),
             "t_run": float(np.mean([r.t_run_s for r in records])),

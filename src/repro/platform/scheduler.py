@@ -67,7 +67,9 @@ class CorePoolScheduler:
                  switch_cost: Optional[Callable[[], float]] = None,
                  freq_change_cost_s: float = 0.0,
                  on_complete: Optional[Callable[[Job], None]] = None,
-                 on_core_released: Optional[Callable[[Core], None]] = None):
+                 on_core_released: Optional[Callable[[Core], None]] = None,
+                 cost_scale: Optional[Callable[[], float]] = None,
+                 block_latency: Optional[Callable[[], float]] = None):
         if context_switch_s < 0:
             raise ValueError(f"negative context switch cost {context_switch_s}")
         if freq_change_cost_s < 0:
@@ -83,6 +85,12 @@ class CorePoolScheduler:
         self.freq_change_cost_s = freq_change_cost_s
         self.on_complete = on_complete
         self.on_core_released = on_core_released
+        #: Fault hooks (repro.faults). ``cost_scale`` multiplies every
+        #: frequency-transition cost (a stalled DVFS driver lengthens
+        #: switches); ``block_latency`` multiplies block-segment durations
+        #: (storage/RPC latency spikes). None = no scaling at all.
+        self.cost_scale = cost_scale
+        self.block_latency = block_latency
         self.stats = SchedulerStats()
 
         self._cores: List[Core] = []
@@ -92,8 +100,9 @@ class CorePoolScheduler:
         self._ready: List[Tuple[Tuple[float, int], Job]] = []
         #: Jobs currently on a core, keyed by core id.
         self._running: Dict[int, Job] = {}
-        #: Jobs parked in a block segment (they will need a core again).
-        self._blocked = 0
+        #: Jobs parked in a block segment, keyed by job id (they will need
+        #: a core again — unless a crash aborts them first).
+        self._blocked_jobs: Dict[int, Job] = {}
         #: Estimated-Wait-Time counter: Σ expected *remaining* T_Run of
         #: queued, running, and blocked jobs.
         self._ewt_s = 0.0
@@ -123,7 +132,7 @@ class CorePoolScheduler:
 
     @property
     def blocked_count(self) -> int:
-        return self._blocked
+        return len(self._blocked_jobs)
 
     @property
     def outstanding(self) -> int:
@@ -133,7 +142,7 @@ class CorePoolScheduler:
     @property
     def load(self) -> int:
         """All jobs this pool is responsible for: queued+running+blocked."""
-        return self.queue_length + self.running_count + self._blocked
+        return self.queue_length + self.running_count + self.blocked_count
 
     @property
     def ewt_seconds(self) -> float:
@@ -149,6 +158,12 @@ class CorePoolScheduler:
     # ------------------------------------------------------------------
     # Elasticity (node controller interface)
     # ------------------------------------------------------------------
+    def _transition_cost(self, base_s: float) -> float:
+        """A frequency-transition cost, under any active DVFS-stall fault."""
+        if self.cost_scale is None:
+            return base_s
+        return base_s * self.cost_scale()
+
     def add_core(self, core: Core, set_frequency: bool = True) -> None:
         """Adopt a core into the pool, retuning it to the pool frequency."""
         if any(c.core_id == core.core_id for c in self._cores):
@@ -156,7 +171,9 @@ class CorePoolScheduler:
         self._pending_removal.discard(core.core_id)
         self._cores.append(core)
         if set_frequency and abs(core.frequency - self.frequency_ghz) > 1e-12:
-            core.set_frequency(self.frequency_ghz, cost_s=self.freq_change_cost_s)
+            core.set_frequency(
+                self.frequency_ghz,
+                cost_s=self._transition_cost(self.freq_change_cost_s))
             self.stats.frequency_switches += 1
         if core.busy:
             raise ValueError(f"core {core.core_id} joined pool while busy")
@@ -195,6 +212,7 @@ class CorePoolScheduler:
         if abs(freq_ghz - self.frequency_ghz) < 1e-12:
             return
         actual_cost = self.freq_change_cost_s if cost_s is None else cost_s
+        actual_cost = self._transition_cost(actual_cost)
         self.frequency_ghz = freq_ghz
         for core in self._cores:
             core.set_frequency(freq_ghz, cost_s=actual_cost)
@@ -235,6 +253,34 @@ class CorePoolScheduler:
                 job.registered_run_seconds = remaining
             drained.append(job)
         return drained
+
+    def abort_all(self) -> List[Job]:
+        """Tear down the pool's whole job population (node crash).
+
+        Queued, running, and blocked jobs are all lost: running cores are
+        preempted, EWT counters and per-job bookkeeping are zeroed, and
+        every lost job is returned marked ``aborted`` (so its late block
+        timers are ignored and its ``done`` event fires for any waiting
+        reliability loop). The cores stay in the pool, idle.
+        """
+        lost: List[Job] = []
+        while self._ready:
+            _, job = heapq.heappop(self._ready)
+            lost.append(job)
+        for core_id in list(self._running):
+            core = next(c for c in self._cores if c.core_id == core_id)
+            lost.append(self._running.pop(core_id))
+            core.preempt()
+        lost.extend(self._blocked_jobs.values())
+        self._blocked_jobs.clear()
+        self._ewt_s = 0.0
+        self._ewt_amounts.clear()
+        self._t_run_at_dispatch.clear()
+        self._pending_removal.clear()
+        self._available = list(self._cores)
+        for job in lost:
+            job.abort()
+        return lost
 
     # ------------------------------------------------------------------
     # Dispatch machinery
@@ -284,7 +330,7 @@ class CorePoolScheduler:
         if abs(core.frequency - target_freq) > 1e-12:
             # The frequency change occupies the core before work starts
             # (sandboxed path for PowerCtrl, kernel path for boosts).
-            pre_overhead += self.switch_cost()
+            pre_overhead += self._transition_cost(self.switch_cost())
             core.set_frequency(target_freq, cost_s=0.0)
             self.stats.frequency_switches += 1
         self._running[core.core_id] = job
@@ -313,16 +359,19 @@ class CorePoolScheduler:
         self._consume_ewt(job)
         block = job.advance()
         if block is not None:
-            job.note_block(block.seconds)
-            self._blocked += 1
+            block_s = block.seconds
+            if self.block_latency is not None:
+                block_s *= self.block_latency()
+            job.note_block(block_s)
+            self._blocked_jobs[job.job_id] = job
             if self.switch_on_idle:
                 self._core_freed(core)
-                wake = self.env.timeout(block.seconds)
+                wake = self.env.timeout(block_s)
                 wake.callbacks.append(
                     lambda ev, job=job: self._unblock_requeue(job))
             else:
                 # Run-to-completion: the core idles but stays held.
-                wake = self.env.timeout(block.seconds)
+                wake = self.env.timeout(block_s)
                 wake.callbacks.append(
                     lambda ev, job=job, core=core:
                     self._unblock_resume(core, job))
@@ -338,14 +387,20 @@ class CorePoolScheduler:
                    on_complete=self._on_core_done, sink=job)
 
     def _unblock_requeue(self, job: Job) -> None:
-        self._blocked -= 1
+        if job.aborted:
+            # The node crashed while this job was blocked; abort_all()
+            # already removed it from the pool's books.
+            return
+        del self._blocked_jobs[job.job_id]
         job.skip_block()
         job.note_enqueue()
         heapq.heappush(self._ready, (job.seniority, job))
         self._dispatch()
 
     def _unblock_resume(self, core: Core, job: Job) -> None:
-        self._blocked -= 1
+        if job.aborted:
+            return
+        del self._blocked_jobs[job.job_id]
         job.skip_block()
         job.note_dispatch(core.frequency)
         self._running[core.core_id] = job

@@ -12,7 +12,7 @@ A *system* (Baseline, Baseline+PowerCtrl, EcoFaaS) provides two things:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.hardware.server import Server
 from repro.platform.containers import ContainerManager
@@ -38,6 +38,19 @@ class NodeSystem(abc.ABC):
         self.metrics = metrics
         self.rng = rng
         self.containers = ContainerManager(env)
+        #: Reliability state (repro.faults): a crashed node is ``down`` —
+        #: invisible to the load balancer — until its reboot completes.
+        self.down = False
+        #: How many times this node has crashed.
+        self.crash_count = 0
+        #: Fault multipliers, both 1.0 when healthy: a stalled frequency
+        #: driver lengthens DVFS transitions; a storage/RPC latency spike
+        #: lengthens block segments.
+        self.dvfs_stall_factor = 1.0
+        self.rpc_latency_factor = 1.0
+        #: Jobs waiting for an in-flight cold start, by job id (they are
+        #: not in any pool yet, so a crash must abort them here).
+        self._awaiting_container: Dict[int, Job] = {}
 
     @abc.abstractmethod
     def submit(self, fn_model: FunctionModel, spec: InvocationSpec,
@@ -62,6 +75,70 @@ class NodeSystem(abc.ABC):
     def finalize(self) -> None:
         """Flush all energy accounting (end of run)."""
         self.server.finalize()
+
+    # ------------------------------------------------------------------
+    # Fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def dvfs_cost_scale(self) -> float:
+        """Current multiplier on DVFS transition costs (pool hook)."""
+        return self.dvfs_stall_factor
+
+    def rpc_latency_scale(self) -> float:
+        """Current multiplier on block-segment durations (pool hook)."""
+        return self.rpc_latency_factor
+
+    def crash(self) -> List[Job]:
+        """Power-fail this node: every in-flight job is lost.
+
+        Pools are emptied (:meth:`_abort_all_jobs`), jobs still waiting on
+        a cold start are aborted, and all container state dies with the
+        node. Returns the lost jobs (marked ``aborted``, prewarm
+        pseudo-jobs excluded) so the frontend's reliability layer can
+        re-dispatch them. The node refuses new work until :meth:`reboot`.
+        The machine itself stays powered (a software/kernel crash), so
+        background power keeps accruing through the outage.
+        """
+        if self.down:
+            raise RuntimeError(f"node {self.server.server_id} already down")
+        self.down = True
+        self.crash_count += 1
+        lost = self._abort_all_jobs()
+        for job in self._awaiting_container.values():
+            job.abort()
+            lost.append(job)
+        self._awaiting_container.clear()
+        # Container state is process state: it does not survive the crash.
+        # Waiters on in-flight cold starts were just aborted, so the old
+        # manager's pending ready events can simply be dropped.
+        self.containers = ContainerManager(self.env,
+                                           self.containers.keep_alive_s)
+        return [job for job in lost if not job.is_prewarm]
+
+    def reboot(self) -> None:
+        """Bring a crashed node back with a clean controller state."""
+        if not self.down:
+            raise RuntimeError(
+                f"node {self.server.server_id} is not down; cannot reboot")
+        self._rebuild()
+        self.down = False
+
+    def kill_container(self, function_name: str) -> str:
+        """Fault hook: kill one function's container on this node.
+
+        Returns the container's prior state (see
+        :meth:`ContainerManager.kill`).
+        """
+        return self.containers.kill(function_name)
+
+    def _abort_all_jobs(self) -> List[Job]:
+        """Subclass hook: empty every pool, returning the lost jobs."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fault injection")
+
+    def _rebuild(self) -> None:
+        """Subclass hook: reset controller state after a crash."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fault injection")
 
     # ------------------------------------------------------------------
     # Shared cold-start plumbing for subclasses
@@ -91,6 +168,43 @@ class NodeSystem(abc.ABC):
         job.on_setup_done = (
             lambda name=fn_model.name: self.containers.finish_cold_start(name))
         return None
+
+    def _submit_with_container(
+            self, fn_model: FunctionModel, job: Job, stream_name: str,
+            dispatch: Callable[[FunctionModel, Job], None]) -> None:
+        """Resolve container state for ``job``, then hand it to ``dispatch``.
+
+        The fault-aware version of the plain attach-and-wait pattern: when
+        the cold start the job was waiting on is killed mid-boot (its ready
+        event fires with a ``None`` payload), the job re-resolves — one
+        waiter becomes the new booter — and when the job was aborted (node
+        crash) while waiting, it is silently dropped. With no faults
+        injected neither branch ever triggers and the event ordering is
+        identical to the original plumbing.
+        """
+        if job.aborted:
+            return
+        wait = self._attach_container(fn_model, job, stream_name)
+        if wait is None:
+            dispatch(fn_model, job)
+            return
+        self._awaiting_container[job.job_id] = job
+        wait.callbacks.append(
+            lambda ev, fn=fn_model, j=job, s=stream_name, d=dispatch:
+            self._container_wait_done(ev, fn, j, s, d))
+
+    def _container_wait_done(self, event, fn_model: FunctionModel, job: Job,
+                             stream_name: str,
+                             dispatch: Callable[[FunctionModel, Job], None]
+                             ) -> None:
+        self._awaiting_container.pop(job.job_id, None)
+        if job.aborted:
+            return
+        if event.value is None:
+            # The cold start this job was waiting on was killed: re-resolve.
+            self._submit_with_container(fn_model, job, stream_name, dispatch)
+            return
+        dispatch(fn_model, job)
 
 
 class ClusterSystem(abc.ABC):

@@ -84,3 +84,18 @@ class InvocationSpec:
         if service == 0:
             return 0.0
         return self.total_block_seconds / service
+
+    def clone(self) -> "InvocationSpec":
+        """An independent, pristine copy of this invocation.
+
+        Work units are consumed in place during execution, so a retried or
+        hedged invocation must run on its own copy — attempts never share
+        segment state.
+        """
+        segments: List[Segment] = [
+            RunSegment(s.work.copy()) if isinstance(s, RunSegment)
+            else BlockSegment(s.seconds)
+            for s in self.segments
+        ]
+        return InvocationSpec(self.function_name, segments,
+                              dict(self.features))

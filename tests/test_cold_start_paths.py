@@ -4,16 +4,19 @@ import pytest
 
 from repro.baselines import BaselineSystem
 from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.faults import CONTAINER_KILL, FaultEvent, FaultPlan
 from repro.platform.cluster import Cluster, ClusterConfig
 from repro.sim import Environment
 from repro.traces.trace import Trace, TraceEvent
 
 
-def run_trace(system, events, duration, n_servers=1, drain=30.0):
+def run_trace(system, events, duration, n_servers=1, drain=30.0,
+              fault_plan=None):
     env = Environment()
     cluster = Cluster(env, system,
                       ClusterConfig(n_servers=n_servers, seed=0,
-                                    drain_s=drain))
+                                    drain_s=drain),
+                      fault_plan=fault_plan)
     cluster.run_trace(Trace(events, duration))
     return cluster
 
@@ -88,3 +91,67 @@ class TestColdStartLatencyImpact:
             return cluster.metrics.workflow_records[0].latency_s
 
         assert first_latency(True) < first_latency(False)
+
+
+class TestColdStartDisruption:
+    """Container kills (repro.faults) interrupting the cold-start path."""
+
+    def kill_at(self, t, function="CNNServ"):
+        return FaultPlan((FaultEvent(t, CONTAINER_KILL, node=0,
+                                     function=function),))
+
+    def test_kill_mid_cold_start_forces_fresh_boot(self):
+        # CNNServ boots for ~1.5 s; the kill at t=0.5 lands mid-boot. The
+        # waiting requests must notice, start a fresh cold start, and all
+        # complete — no stuck ready event.
+        events = [TraceEvent(0.1, "CNNServ") for _ in range(3)]
+        cluster = run_trace(BaselineSystem(), events, 1.0,
+                            fault_plan=self.kill_at(0.5))
+        metrics = cluster.metrics
+        assert metrics.completed_workflows() == 3
+        # The doomed boot plus the fresh one it forced.
+        assert cluster.nodes[0].containers.cold_starts == 2
+        assert cluster.nodes[0].containers.kills == 1
+        # No invocation is still parked on a container that will never
+        # come up.
+        assert cluster.inflight == 0
+        assert not cluster.nodes[0].containers._starting
+
+    def test_both_boots_are_charged_to_their_invocations(self):
+        # The job that ran the doomed boot keeps its cold flag (it really
+        # paid the setup work on-core); one ex-waiter pays for the fresh
+        # boot. The third request rides warm.
+        events = [TraceEvent(0.1, "CNNServ") for _ in range(3)]
+        cluster = run_trace(BaselineSystem(), events, 1.0,
+                            fault_plan=self.kill_at(0.5))
+        assert cluster.metrics.cold_start_count() == 2
+
+    def test_kill_mid_cold_start_slows_the_batch(self):
+        events = [TraceEvent(0.1, "CNNServ") for _ in range(3)]
+        calm = run_trace(BaselineSystem(), list(events), 1.0)
+        killed = run_trace(BaselineSystem(), list(events), 1.0,
+                           fault_plan=self.kill_at(0.5))
+        # Every request had to wait out the second boot.
+        assert (min(r.latency_s for r in killed.metrics.workflow_records)
+                > min(r.latency_s for r in calm.metrics.workflow_records))
+
+    def test_kill_during_keep_alive_resets_manager_state(self):
+        # Kill a *warm* container between two requests: the manager must
+        # forget it, and the second request pays a full fresh cold start.
+        events = [TraceEvent(0.1, "WebServ"), TraceEvent(3.0, "WebServ")]
+        cluster = run_trace(BaselineSystem(), events, 5.0,
+                            fault_plan=self.kill_at(1.5, "WebServ"))
+        containers = cluster.nodes[0].containers
+        assert cluster.metrics.completed_workflows() == 2
+        assert cluster.metrics.cold_start_count() == 2
+        assert containers.cold_starts == 2
+        assert containers.kills == 1
+
+    def test_ecofaas_kill_mid_cold_start(self):
+        events = [TraceEvent(0.1, "CNNServ") for _ in range(3)]
+        cluster = run_trace(
+            EcoFaaSSystem(EcoFaaSConfig(prewarm=False)), events, 1.0,
+            fault_plan=self.kill_at(0.5))
+        assert cluster.metrics.completed_workflows() == 3
+        assert cluster.inflight == 0
+        assert cluster.nodes[0].containers.cold_starts == 2

@@ -12,7 +12,9 @@ from hypothesis import strategies as st
 
 from repro.baselines import BaselineSystem, PowerCtrlSystem
 from repro.core import EcoFaaSConfig, EcoFaaSSystem
+from repro.faults import NODE_CRASH, FaultEvent, FaultPlan
 from repro.platform.cluster import Cluster, ClusterConfig
+from repro.platform.reliability import ReliabilityPolicy
 from repro.sim import Environment
 from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
 from repro.workloads.registry import benchmark_names
@@ -114,3 +116,87 @@ def test_energy_monotone_in_load_for_all_systems():
         _, light = run_once(factory, ["CNNServ"], rate=3.0, seed=1)
         _, heavy = run_once(factory, ["CNNServ"], rate=20.0, seed=1)
         assert heavy.total_energy_j > light.total_energy_j, name
+
+
+# ----------------------------------------------------------------------
+# Invariants under chaos (repro.faults): crashes, retries, re-dispatch
+# ----------------------------------------------------------------------
+
+CHAOS_POLICY = ReliabilityPolicy(max_retries=8, backoff_base_s=0.05,
+                                 backoff_multiplier=2.0, backoff_jitter=0.1)
+
+# Two crashes mid-trace: one per node, so every node rebuilds once and
+# retried jobs land on whichever machine is up.
+CHAOS_PLAN = FaultPlan((
+    FaultEvent(1.5, NODE_CRASH, node=0, duration_s=1.0),
+    FaultEvent(4.0, NODE_CRASH, node=1, duration_s=1.5),
+))
+
+
+def run_chaotic(factory, mix, rate, seed):
+    trace = generate_poisson_trace(PoissonLoadConfig(
+        mix, rate_rps=rate, duration_s=8.0, seed=seed))
+    env = Environment()
+    cluster = Cluster(env, factory(),
+                      ClusterConfig(n_servers=2, seed=seed, drain_s=60.0,
+                                    reliability=CHAOS_POLICY),
+                      fault_plan=CHAOS_PLAN)
+    cluster.run_trace(trace)
+    return trace, cluster
+
+
+def all_pools(node):
+    """Every scheduler a node controller currently owns."""
+    pools = node._pools
+    if isinstance(pools, dict):  # MXFaaS-style per-function partitions
+        return list(pools.values())
+    return list(pools) + list(node._retiring)  # EcoFaaS elastic pools
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100),
+       mix_index=st.integers(min_value=0, max_value=len(MIXES) - 1),
+       system=st.sampled_from(sorted(SYSTEM_FACTORIES)))
+def test_ewt_nonnegative_and_drains_to_zero_under_chaos(
+        seed, mix_index, system):
+    """EWT counters survive crashes, retries, and cross-node re-dispatch.
+
+    After the drain every pool's raw Estimated-Wait-Time counter must be
+    back at exactly zero (never negative): aborted jobs must not leak the
+    amounts they registered, and retried jobs must unregister on whichever
+    node finally ran them.
+    """
+    trace, cluster = run_chaotic(SYSTEM_FACTORIES[system], MIXES[mix_index],
+                                 rate=6.0, seed=seed)
+    metrics = cluster.metrics
+    # No invocation is ever lost: 8 retries dwarf 2 crashes.
+    assert metrics.completed_workflows() == len(trace)
+    assert metrics.failed_workflows == 0
+    assert metrics.lost_invocations == 0
+    assert cluster.inflight == 0
+    # 100 % of crash-lost in-flight jobs were re-dispatched to completion.
+    assert metrics.crash_redispatches == metrics.jobs_lost_to_crash
+    for node in cluster.nodes:
+        assert not node.down  # both reboots finished
+        for pool in all_pools(node):
+            assert pool._ewt_s >= -1e-9, (system, pool.name)
+            assert pool._ewt_s == pytest.approx(0.0, abs=1e-9), \
+                (system, pool.name)
+            assert not pool._ewt_amounts, (system, pool.name)
+            assert pool.load == 0, (system, pool.name)
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_ecofaas_cores_conserved_across_crash_and_reboot(seed):
+    _, cluster = run_chaotic(SYSTEM_FACTORIES["ecofaas"],
+                             ["WebServ", "CNNServ", "eBank"],
+                             rate=8.0, seed=seed)
+    for node in cluster.nodes:
+        total = (sum(p.n_cores for p in node._pools)
+                 + sum(p.n_cores for p in node._retiring)
+                 + len(node._free))
+        assert total == node.server.n_cores
+        assert node.crash_count == 1
