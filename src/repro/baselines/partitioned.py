@@ -86,6 +86,10 @@ class PartitionedNode(NodeSystem):
     def outstanding(self) -> int:
         return sum(pool.load for pool in self._pools.values())
 
+    def iter_pools(self) -> List[CorePoolScheduler]:
+        """Live per-function pools (observability)."""
+        return list(self._pools.values())
+
     # ------------------------------------------------------------------
     # Pool management
     # ------------------------------------------------------------------
@@ -204,3 +208,8 @@ class PartitionedNode(NodeSystem):
         for name, pool in self._pools.items():
             while pool.n_cores < targets[name] and self._free_cores:
                 pool.add_core(self._free_cores.pop())
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                "repartition", self.track, pools=len(self._pools),
+                targets=dict(sorted(targets.items())),
+                free=len(self._free_cores))

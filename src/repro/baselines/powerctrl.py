@@ -88,6 +88,11 @@ class PowerCtrlNode(PartitionedNode):
         job.registered_run_seconds = (
             job.remaining_run_seconds(chosen)
             + job.spec.total_block_seconds)
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                "freq_choice", pool.name, job=job.job_id,
+                function=job.function_name, chosen_ghz=chosen,
+                deadline_s=job.deadline_s)
 
 
 class PowerCtrlSystem(ClusterSystem):

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig15
     python -m repro fig13 --full --seed 7
     python -m repro all            # every experiment, quick mode
+    python -m repro fig16 --trace out.json --epoch-metrics out.csv
+    python -m repro report out.json
 """
 
 from __future__ import annotations
@@ -53,14 +55,41 @@ def _run_one(key: str, quick: bool, seed: int, chart: bool = False) -> None:
     print()
 
 
+def _report(argv: List[str]) -> int:
+    """The ``repro report <trace.json>`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="ecofaas report",
+        description="Analyze a recorded trace: top functions by energy,"
+                    " queueing delay, and deadline misses.")
+    parser.add_argument("trace", help="trace-event JSON file (--trace)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per ranking (default 10)")
+    args = parser.parse_args(argv)
+    from repro import obs
+    try:
+        text = obs.report(args.trace, top_n=args.top)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as error:
+        print(f"not a trace-event JSON file: {args.trace} ({error})",
+              file=sys.stderr)
+        return 2
+    print(text, end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        return _report(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ecofaas",
         description="EcoFaaS reproduction: regenerate the paper's tables"
                     " and figures as text tables.")
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'list', or 'all'")
+        help="experiment id (see 'list'), 'list', 'all', or 'report'")
     parser.add_argument(
         "--full", action="store_true",
         help="run at closer-to-paper scale (much slower)")
@@ -68,7 +97,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="root random seed (default 0)")
     parser.add_argument("--chart", action="store_true",
                         help="also render ASCII charts where applicable")
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record an invocation-lifecycle trace to PATH"
+             " (Chrome trace-event JSON, loadable in Perfetto)")
+    parser.add_argument(
+        "--epoch-metrics", metavar="PATH",
+        help="also export a per-epoch metrics time series"
+             " (CSV, or JSON for .json paths; requires --trace)")
+    parser.add_argument(
+        "--epoch-s", type=float, default=2.0,
+        help="epoch length for --epoch-metrics in simulated seconds"
+             " (default 2.0, the EcoFaaS T_refresh)")
     args = parser.parse_args(argv)
+    if args.epoch_metrics and not args.trace:
+        parser.error("--epoch-metrics requires --trace")
 
     if args.experiment == "list":
         print("available experiments:")
@@ -76,32 +119,53 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {key:10s} {module_name}")
         return 0
 
-    if args.experiment == "all":
-        # One failing experiment must not abort the whole sweep: run every
-        # one, report the failures at the end, and exit non-zero if any.
-        failures: List[str] = []
-        for key in EXPERIMENTS:
-            try:
-                _run_one(key, quick=not args.full, seed=args.seed,
-                         chart=args.chart)
-            except Exception as error:  # noqa: BLE001 - sweep must go on
-                failures.append(key)
-                print(f"[{key} FAILED: {type(error).__name__}: {error}]",
-                      file=sys.stderr)
-                print()
-        if failures:
-            print(f"{len(failures)} experiment(s) failed:"
-                  f" {', '.join(failures)}", file=sys.stderr)
-            return 1
-        return 0
-
-    if args.experiment not in EXPERIMENTS:
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r};"
               f" try 'list'", file=sys.stderr)
         return 2
-    _run_one(args.experiment, quick=not args.full, seed=args.seed,
-             chart=args.chart)
-    return 0
+
+    tracer = None
+    if args.trace:
+        from repro import obs
+        tracer = obs.install(obs.Tracer())
+    try:
+        if args.experiment == "all":
+            # One failing experiment must not abort the whole sweep: run
+            # every one, report the failures at the end, exit non-zero if
+            # any.
+            failures: List[str] = []
+            for key in EXPERIMENTS:
+                try:
+                    _run_one(key, quick=not args.full, seed=args.seed,
+                             chart=args.chart)
+                except Exception as error:  # noqa: BLE001 - sweep must go on
+                    failures.append(key)
+                    print(f"[{key} FAILED: {type(error).__name__}: {error}]",
+                          file=sys.stderr)
+                    print()
+            status = 1 if failures else 0
+            if failures:
+                print(f"{len(failures)} experiment(s) failed:"
+                      f" {', '.join(failures)}", file=sys.stderr)
+        else:
+            _run_one(args.experiment, quick=not args.full, seed=args.seed,
+                     chart=args.chart)
+            status = 0
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+
+    if tracer is not None:
+        n_events = obs.write_chrome_trace(tracer, args.trace)
+        print(f"[trace: {n_events} events -> {args.trace};"
+              f" open at https://ui.perfetto.dev]")
+        if args.epoch_metrics:
+            rows = obs.write_epoch_metrics(tracer, args.epoch_metrics,
+                                           epoch_s=args.epoch_s)
+            print(f"[epoch metrics: {len(rows)} rows"
+                  f" -> {args.epoch_metrics}]")
+        print(obs.run_summary(tracer))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

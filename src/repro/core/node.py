@@ -80,6 +80,10 @@ class EcoFaaSNode(NodeSystem):
             cost_scale=self.dvfs_cost_scale,
             block_latency=self.rpc_latency_scale)
 
+    def iter_pools(self) -> List[CorePoolScheduler]:
+        """Every live pool, retiring ones included (observability)."""
+        return self._pools + self._retiring
+
     def active_pools(self) -> List[CorePoolScheduler]:
         """Usable pools, sorted by frequency ascending; never empty."""
         usable = [p for p in self._pools if p.n_cores > 0]
@@ -178,6 +182,10 @@ class EcoFaaSNode(NodeSystem):
         job.on_setup_done = (
             lambda name=fn_model.name: self._finish_prewarm(name, job))
         pool = self._prewarm_pool(fn_model.name, budget_s)
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                "prewarm", self.track, function=fn_model.name,
+                budget_s=budget_s, pool_ghz=pool.frequency_ghz)
         job.chosen_freq_ghz = pool.frequency_ghz
         job.registered_run_seconds = self._estimated_cold_seconds(
             fn_model.name, pool.frequency_ghz) or 0.0
@@ -324,6 +332,16 @@ class EcoFaaSNode(NodeSystem):
 
         self._apply_demand(dict(smoothed))
         self.pool_count_samples.append((self.env.now, self.pool_count()))
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                "pool_retune", self.track,
+                pools=self.pool_count(),
+                targets={f"{level:.2f}": count
+                         for level, count in sorted(self._targets.items())},
+                demand={f"{level:.2f}": round(weight, 4)
+                        for level, weight in sorted(smoothed.items())})
+            self.env.trace.counter(self.track, "pool_count",
+                                   self.pool_count())
 
     def _apply_demand(self, demand: Dict[float, float]) -> None:
         # Cap the number of levels by folding the smallest demand into the

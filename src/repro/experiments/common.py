@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.baselines import BaselineSystem, PowerCtrlSystem
 from repro.core import EcoFaaSSystem
 from repro.core.config import EcoFaaSConfig
@@ -97,6 +98,24 @@ def make_systems(ecofaas_config: Optional[EcoFaaSConfig] = None) -> Dict[str, ob
     }
 
 
+def _trace_counter_sampler(env, cluster, tracer):
+    """Read-only periodic counters: per-node power draw, EWT, load.
+
+    Armed only on traced runs; it mutates nothing and draws no random
+    numbers, so metrics stay bit-identical to an untraced run.
+    """
+    while True:
+        for node in cluster.nodes:
+            track = f"node{node.server.server_id}"
+            tracer.counter(track, "power_w",
+                           node.server.power_snapshot_w())
+            tracer.counter(track, "ewt_s",
+                           sum(pool.ewt_seconds
+                               for pool in node.iter_pools()))
+            tracer.counter(track, "outstanding", node.outstanding)
+        yield env.timeout(tracer.counter_period_s)
+
+
 def run_cluster(system, trace: Trace,
                 config: Optional[ClusterConfig] = None,
                 sample_period_s: Optional[float] = None,
@@ -106,11 +125,19 @@ def run_cluster(system, trace: Trace,
     ``sample_period_s`` arms periodic frequency-timeline sampling on every
     server (the Fig. 14 data source). ``fault_plan`` arms deterministic
     fault injection (``repro.faults``); None or an empty plan leaves the
-    run untouched.
+    run untouched. When a tracer is installed (``repro.obs``), the run is
+    recorded as a new run scope named after the system.
     """
     env = Environment()
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        tracer.begin_run(getattr(system, "name", type(system).__name__))
+        tracer.bind(env)
     cluster = Cluster(env, system, config or ClusterConfig(),
                       fault_plan=fault_plan)
+    if tracer is not None:
+        env.process(_trace_counter_sampler(env, cluster, tracer),
+                    name="obs-counter-sampler")
     if sample_period_s is not None:
         def sampler():
             while True:

@@ -66,9 +66,14 @@ class FaultInjector:
             self.metrics.record_crash(
                 len(lost), sum(job.energy_j for job in lost))
             self.applied.append((env.now, NODE_CRASH, index))
+            env.trace.instant(f"fault_{NODE_CRASH}", "faults", node=index,
+                              jobs_lost=len(lost),
+                              duration_s=event.duration_s)
             yield env.timeout(event.duration_s)
             node.reboot()
             self.metrics.record_recovery(event.duration_s)
+            env.trace.instant("node_recovered", "faults", node=index,
+                              downtime_s=event.duration_s)
         elif event.kind == CONTAINER_KILL:
             if node.down:
                 return  # nothing to kill: the node itself is dead
@@ -76,14 +81,23 @@ class FaultInjector:
             if prior != "cold":
                 self.metrics.record_failure(CONTAINER_KILL)
                 self.applied.append((env.now, CONTAINER_KILL, index))
+                env.trace.instant(f"fault_{CONTAINER_KILL}", "faults",
+                                  node=index, function=event.function,
+                                  prior=prior)
         elif event.kind == RPC_SPIKE:
             self.metrics.record_failure(RPC_SPIKE)
             self.applied.append((env.now, RPC_SPIKE, index))
+            env.trace.instant(f"fault_{RPC_SPIKE}", "faults", node=index,
+                              magnitude=event.magnitude,
+                              duration_s=event.duration_s)
             yield from self._windowed(node, self._rpc_active, index,
                                       event, "rpc_latency_factor")
         elif event.kind == DVFS_STALL:
             self.metrics.record_failure(DVFS_STALL)
             self.applied.append((env.now, DVFS_STALL, index))
+            env.trace.instant(f"fault_{DVFS_STALL}", "faults", node=index,
+                              magnitude=event.magnitude,
+                              duration_s=event.duration_s)
             yield from self._windowed(node, self._dvfs_active, index,
                                       event, "dvfs_stall_factor")
 

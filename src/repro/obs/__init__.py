@@ -1,0 +1,76 @@
+"""repro.obs — invocation-lifecycle tracing and trace export.
+
+A zero-overhead-when-disabled observability subsystem: the platform is
+threaded with hooks that dispatch through ``Environment.trace`` (the
+shared :data:`~repro.obs.tracer.NULL_TRACER` by default). Installing a
+real :class:`~repro.obs.tracer.Tracer` — via :func:`install` for the
+experiment harness, or ``tracer.bind(env)`` directly — records typed
+span/instant/counter streams that export to Perfetto-loadable Chrome
+trace JSON, per-epoch metrics time series, and plain-text summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.export import (
+    chrome_trace_events,
+    epoch_rows,
+    queueing_by_function,
+    run_summary,
+    write_chrome_trace,
+    write_epoch_metrics,
+)
+from repro.obs.report import report
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CounterRecord,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+from repro.obs.validate import validate_events, validate_file
+
+__all__ = [
+    "NULL_TRACER",
+    "CounterRecord",
+    "InstantRecord",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "active_tracer",
+    "chrome_trace_events",
+    "epoch_rows",
+    "install",
+    "queueing_by_function",
+    "report",
+    "run_summary",
+    "uninstall",
+    "validate_events",
+    "validate_file",
+    "write_chrome_trace",
+    "write_epoch_metrics",
+]
+
+#: The process-wide tracer the experiment harness attaches to every
+#: cluster it builds (None = tracing disabled).
+_active: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the active tracer for subsequent experiment runs."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Disable experiment tracing (does not clear recorded data)."""
+    global _active
+    _active = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is disabled."""
+    return _active

@@ -1,0 +1,127 @@
+"""Post-hoc trace analysis: the ``repro report <trace>`` subcommand.
+
+Reads a Chrome trace-event JSON file produced by
+:func:`repro.obs.export.write_chrome_trace` and prints, per run, the top
+functions by energy, by queueing delay, and by deadline misses — the
+"where did my p99 / my joules go" question the per-invocation spans were
+recorded to answer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class TraceStats:
+    """Per-function aggregates recovered from an exported trace file."""
+
+    def __init__(self) -> None:
+        #: run index → run display label.
+        self.runs: Dict[int, str] = {}
+        # (run, function) → aggregate.
+        self.energy_j: Dict[Tuple[int, str], float] = defaultdict(float)
+        self.queue_s: Dict[Tuple[int, str], float] = defaultdict(float)
+        self.misses: Dict[Tuple[int, str], int] = defaultdict(int)
+        self.completed: Dict[Tuple[int, str], int] = defaultdict(int)
+
+    def top(self, table: Dict[Tuple[int, str], float], run: int,
+            n: int) -> List[Tuple[str, float]]:
+        ranked = sorted(
+            ((fn, value) for (r, fn), value in table.items()
+             if r == run and value > 0),
+            key=lambda item: (-item[1], item[0]))
+        return ranked[:n]
+
+
+def _run_of_pid(pid_names: Dict[int, str], pid: int) -> Tuple[int, str]:
+    """Recover (run index, run label) from a process_name like
+    ``"EcoFaaS [2] invocations"``."""
+    name = pid_names.get(pid, "")
+    if "[" in name and "]" in name:
+        label = name.split("[", 1)[0].strip()
+        index = name.split("[", 1)[1].split("]", 1)[0]
+        if index.isdigit():
+            return int(index), label
+    return 0, name or "run"
+
+
+def load_stats(path: str) -> TraceStats:
+    """Aggregate one exported trace file into :class:`TraceStats`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    events = (document if isinstance(document, list)
+              else document.get("traceEvents", []))
+    pid_names = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M"
+                 and e.get("name") == "process_name"}
+    stats = TraceStats()
+    # Invocation 'e' events carry the full measured breakdown in args;
+    # queue-phase spans are reassembled from their b/e pairs.
+    queue_begin: Dict[Tuple[int, int], float] = {}
+    uid_function: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        phase, cat = event.get("ph"), event.get("cat")
+        if phase not in ("b", "e"):
+            continue
+        run, label = _run_of_pid(pid_names, event["pid"])
+        stats.runs.setdefault(run, label)
+        key = (run, event["id"])
+        if cat == "invocation":
+            if phase == "b":
+                uid_function[key] = event["name"]
+            else:
+                args = event.get("args", {})
+                if args.get("status") != "completed" or args.get("prewarm"):
+                    continue
+                function = event["name"]
+                stats.completed[(run, function)] += 1
+                stats.energy_j[(run, function)] += float(
+                    args.get("energy_j", 0.0))
+                if not args.get("met_deadline", True):
+                    stats.misses[(run, function)] += 1
+        elif cat == "phase" and event["name"] == "queue":
+            if phase == "b":
+                queue_begin[key] = event["ts"]
+            else:
+                t0 = queue_begin.pop(key, None)
+                if t0 is not None:
+                    function = uid_function.get(key, "?")
+                    stats.queue_s[(run, function)] += (
+                        (event["ts"] - t0) / 1e6)
+    return stats
+
+
+def format_report(stats: TraceStats, top_n: int = 10) -> str:
+    lines: List[str] = []
+    for run in sorted(stats.runs):
+        label = stats.runs[run]
+        total = sum(count for (r, _), count in stats.completed.items()
+                    if r == run)
+        lines.append(f"== run {run} ({label}): {total} completed"
+                     f" invocations ==")
+        sections = (
+            ("top functions by energy", stats.energy_j, "J", "{:.1f}"),
+            ("top functions by queueing delay", stats.queue_s, "s",
+             "{:.3f}"),
+            ("top functions by deadline misses", stats.misses, "",
+             "{:.0f}"),
+        )
+        for title, table, unit, fmt in sections:
+            ranked = stats.top(table, run, top_n)
+            lines.append(f"-- {title} --")
+            if not ranked:
+                lines.append("   (none)")
+                continue
+            width = max(len(fn) for fn, _ in ranked)
+            for function, value in ranked:
+                lines.append(f"   {function.ljust(width)}"
+                             f"  {fmt.format(value)}{unit}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def report(path: str, top_n: int = 10) -> str:
+    """Load ``path`` and render the full text report."""
+    return format_report(load_stats(path), top_n)

@@ -8,6 +8,7 @@ first) and the stage completes when its slowest member finishes.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -83,6 +84,9 @@ class Cluster:
         self._rr_index = 0
         #: Workflows in flight (for drain diagnostics).
         self.inflight = 0
+        #: Workflow ids for trace spans (allocated unconditionally so
+        #: traced and untraced runs walk identical code paths).
+        self._wf_ids = itertools.count()
         #: Armed fault injector, when a non-empty plan was supplied.
         self.fault_injector = None
         if fault_plan is not None and fault_plan.events:
@@ -131,6 +135,8 @@ class Cluster:
         self.system.on_workflow_arrival(self, workflow, arrival_s, deadlines)
         policy = self.config.reliability
         self.inflight += 1
+        wf_uid = next(self._wf_ids)
+        self.env.trace.workflow_begin(wf_uid, workflow.name, slo_s=slo_s)
         failed = False
         try:
             for stage in workflow.stages:
@@ -160,9 +166,15 @@ class Cluster:
                     break
             if failed:
                 self.metrics.record_workflow_failure(workflow.name)
+                self.env.trace.workflow_end(wf_uid, "failed", slo_s=slo_s)
             else:
+                latency_s = self.env.now - arrival_s
                 self.metrics.record_workflow(
-                    workflow.name, arrival_s, self.env.now - arrival_s, slo_s)
+                    workflow.name, arrival_s, latency_s, slo_s)
+                if self.env.trace.enabled:
+                    self.env.trace.workflow_end(
+                        wf_uid, "completed", latency_s=latency_s,
+                        slo_s=slo_s, met_slo=latency_s <= slo_s + 1e-9)
         finally:
             self.inflight -= 1
 
@@ -194,6 +206,9 @@ class Cluster:
         while True:
             if attempt > 0:
                 self.metrics.record_retry()
+                self.env.trace.instant("retry", "frontend",
+                                       function=fn_model.name,
+                                       attempt=attempt)
                 draw = 0.0
                 if policy.backoff_jitter > 0:
                     draw = float(self.rng.stream(
@@ -238,6 +253,9 @@ class Cluster:
                             j.abandoned = True
                     lost_to_crash_here += sum(1 for j in jobs if j.aborted)
                     self.metrics.record_timeout()
+                    self.env.trace.instant("invocation_timeout", "frontend",
+                                           function=fn_model.name,
+                                           attempt=attempt)
                     attempt_failed = True
                     break
                 if hedge_ev is not None and hedge_ev.processed:
@@ -250,6 +268,9 @@ class Cluster:
                         duplicate.attempt = attempt
                         jobs.append(duplicate)
                         self.metrics.record_hedge()
+                        self.env.trace.instant("hedge", "frontend",
+                                               function=fn_model.name,
+                                               job=duplicate.job_id)
                     continue
                 # Some (not all) attempts crashed: drop them, keep waiting.
                 lost_to_crash_here += sum(1 for j in jobs if j.aborted)
@@ -257,6 +278,9 @@ class Cluster:
             attempt += 1
             if attempt > policy.max_retries:
                 self.metrics.lost_invocations += 1
+                self.env.trace.instant("invocation_lost", "frontend",
+                                       function=fn_model.name,
+                                       attempts=attempt)
                 return None
 
     # ------------------------------------------------------------------

@@ -23,11 +23,14 @@ KEEP_ALIVE_S = 60.0
 class ContainerManager:
     """Tracks container state for every function on one node."""
 
-    def __init__(self, env: Environment, keep_alive_s: float = KEEP_ALIVE_S):
+    def __init__(self, env: Environment, keep_alive_s: float = KEEP_ALIVE_S,
+                 owner: str = "containers"):
         if keep_alive_s <= 0:
             raise ValueError(f"keep-alive must be positive: {keep_alive_s}")
         self.env = env
         self.keep_alive_s = keep_alive_s
+        #: Trace track label (``node<i>`` when owned by a node controller).
+        self.owner = owner
         self._warm_until: Dict[str, float] = {}
         self._starting: Dict[str, Event] = {}
         #: Cold starts whose container was killed mid-boot: their eventual
@@ -70,6 +73,8 @@ class ContainerManager:
         event = Event(self.env)
         self._starting[function_name] = event
         self.cold_starts += 1
+        self.env.trace.instant("container_boot", self.owner,
+                               function=function_name)
         return event
 
     def ready_event(self, function_name: str) -> Event:
@@ -99,6 +104,8 @@ class ContainerManager:
             raise RuntimeError(
                 f"{function_name!r} had no cold start in flight")
         self._warm_until[function_name] = self.env.now + self.keep_alive_s
+        self.env.trace.instant("container_warm", self.owner,
+                               function=function_name)
         event.succeed(function_name)
 
     def kill(self, function_name: str) -> str:
@@ -123,6 +130,8 @@ class ContainerManager:
             event.succeed(None)
         if prior != "cold":
             self.kills += 1
+            self.env.trace.instant("container_kill", self.owner,
+                                   function=function_name, prior=prior)
         return prior
 
     def record_warm_hit(self) -> None:

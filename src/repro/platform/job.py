@@ -17,7 +17,20 @@ from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.workloads.spec import BlockSegment, InvocationSpec, RunSegment
 
-_job_ids = itertools.count()
+def _next_job_id(env: Environment) -> int:
+    """Job ids are allocated per environment, starting at 0 each run.
+
+    A process-global counter would leak across runs: the second cluster
+    of an experiment would number its jobs from where the first stopped,
+    and two identical runs would record different ids in their traces.
+    Per-run ids keep the within-run ordering (all seniority tie-breaking
+    is unchanged) while making every run's ids — and therefore its trace
+    file — reproducible.
+    """
+    counter = getattr(env, "_job_ids", None)
+    if counter is None:
+        counter = env._job_ids = itertools.count()
+    return next(counter)
 
 
 class Job:
@@ -31,7 +44,7 @@ class Job:
         if arrival_s < 0:
             raise ValueError(f"negative arrival time {arrival_s}")
         self.env = env
-        self.job_id = next(_job_ids)
+        self.job_id = _next_job_id(env)
         self.spec = spec
         self.benchmark = benchmark
         self.arrival_s = arrival_s
@@ -95,6 +108,9 @@ class Job:
 
         self.completion_time: Optional[float] = None
         self.done = Event(env)
+        env.trace.invocation_begin(self.job_id, self.function_name,
+                                   benchmark=benchmark,
+                                   arrival_s=arrival_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Job {self.job_id} {self.function_name}"
@@ -202,16 +218,22 @@ class Job:
             self.t_queue += self.env.now - self._queue_entered
             self._queue_entered = None
         self._running_at = freq_ghz
+        self.env.trace.phase(
+            self.job_id,
+            "cold_start" if self._segment_index == -1 else "run",
+            freq_ghz=freq_ghz)
 
     def note_enqueue(self) -> None:
         """Open a queueing interval: the job waits for a core."""
         if self._queue_entered is None:
             self._queue_entered = self.env.now
+            self.env.trace.phase(self.job_id, "queue")
         self._running_at = None
 
     def note_block(self, seconds: float) -> None:
         self.t_block += seconds
         self._running_at = None
+        self.env.trace.phase(self.job_id, "block", seconds=seconds)
 
     def complete(self) -> None:
         """Mark the job finished and fire its completion event."""
@@ -222,6 +244,15 @@ class Job:
         if not self.is_complete:
             raise RuntimeError(f"{self!r} has segments left")
         self.completion_time = self.env.now
+        if self.env.trace.enabled:
+            self.env.trace.invocation_end(
+                self.job_id, "completed",
+                latency_s=self.latency_s, t_queue=self.t_queue,
+                t_run=self.t_run, t_block=self.t_block,
+                energy_j=self.energy_j, cold_start=self.cold_start,
+                prewarm=self.is_prewarm, abandoned=self.abandoned,
+                met_deadline=self.met_deadline, attempt=self.attempt,
+                chosen_freq_ghz=self.chosen_freq_ghz)
         self.done.succeed(self)
 
     def abort(self) -> None:
@@ -235,6 +266,14 @@ class Job:
         if self.finished:
             raise RuntimeError(f"{self!r} already finished; cannot abort")
         self.aborted = True
+        if self.env.trace.enabled:
+            # Idempotent like abort itself: a duplicate end is ignored.
+            self.env.trace.invocation_end(
+                self.job_id, "aborted",
+                t_queue=self.t_queue, t_run=self.t_run,
+                t_block=self.t_block, energy_j=self.energy_j,
+                cold_start=self.cold_start, prewarm=self.is_prewarm,
+                attempt=self.attempt)
         if not self.done.triggered:
             self.done.succeed(self)
 

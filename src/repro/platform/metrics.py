@@ -4,25 +4,30 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.platform.job import Job
 
 
-def percentile(values: Sequence[float], p: float) -> float:
+def percentile(values: Iterable[float], p: float) -> float:
     """The p-th percentile (0-100) of ``values``.
 
-    An empty ``values`` yields NaN — "no data", distinguishable from a
-    genuine 0.0 latency — so partial runs (e.g. chaos experiments where a
+    Accepts any iterable — lists, tuples, numpy arrays, and one-shot
+    generators are all coerced to a flat float array first. An empty
+    ``values`` yields NaN — "no data", distinguishable from a genuine
+    0.0 latency — so partial runs (e.g. chaos experiments where a
     benchmark never completed) roll up without raising.
     """
     if not 0 <= p <= 100:
         raise ValueError(f"percentile must be in [0, 100]: {p}")
-    if len(values) == 0:
+    if not hasattr(values, "__len__"):
+        values = list(values)  # a generator supports neither len nor reuse
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
         return float("nan")
-    return float(np.percentile(np.asarray(values, dtype=float), p))
+    return float(np.percentile(array, p))
 
 
 @dataclass(frozen=True)
@@ -75,9 +80,20 @@ class WorkflowRecord:
 
 
 class MetricsCollector:
-    """Accumulates records during a run and answers rollup queries."""
+    """Accumulates records during a run and answers rollup queries.
+
+    One collector belongs to one run: every :class:`Cluster` constructs a
+    fresh instance. A collector that *is* reused across runs (custom
+    harnesses carrying one through a sweep) must call :meth:`reset`
+    between them, or reliability counters from one run leak into the
+    next's rollups.
+    """
 
     def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every record list and counter (reuse across runs)."""
         self.function_records: List[FunctionRecord] = []
         self.workflow_records: List[WorkflowRecord] = []
         # Reliability counters (repro.faults). All stay zero on fault-free

@@ -171,6 +171,11 @@ class CorePoolScheduler:
         self._pending_removal.discard(core.core_id)
         self._cores.append(core)
         if set_frequency and abs(core.frequency - self.frequency_ghz) > 1e-12:
+            if self.env.trace.enabled:
+                self.env.trace.instant(
+                    "freq_transition", self.name, core=core.core_id,
+                    from_ghz=core.frequency, to_ghz=self.frequency_ghz,
+                    reason="adopt")
             core.set_frequency(
                 self.frequency_ghz,
                 cost_s=self._transition_cost(self.freq_change_cost_s))
@@ -178,6 +183,7 @@ class CorePoolScheduler:
         if core.busy:
             raise ValueError(f"core {core.core_id} joined pool while busy")
         self._available.append(core)
+        self.env.trace.counter(self.name, "pool_size", len(self._cores))
         self._dispatch()
 
     def release_idle_core(self) -> Optional[Core]:
@@ -186,6 +192,7 @@ class CorePoolScheduler:
             return None
         core = self._available.pop()
         self._cores.remove(core)
+        self.env.trace.counter(self.name, "pool_size", len(self._cores))
         return core
 
     def request_core_removal(self) -> bool:
@@ -213,6 +220,10 @@ class CorePoolScheduler:
             return
         actual_cost = self.freq_change_cost_s if cost_s is None else cost_s
         actual_cost = self._transition_cost(actual_cost)
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                "freq_transition", self.name, from_ghz=self.frequency_ghz,
+                to_ghz=freq_ghz, n_cores=len(self._cores), reason="retune")
         self.frequency_ghz = freq_ghz
         for core in self._cores:
             core.set_frequency(freq_ghz, cost_s=actual_cost)
@@ -234,6 +245,10 @@ class CorePoolScheduler:
             self.stats.boosted += 1
         if job.wanted_lower_freq:
             self.stats.wanted_lower_freq += 1
+        if self.env.trace.enabled:
+            self.env.trace.counter(self.name, "ewt_s", self.ewt_seconds)
+            self.env.trace.counter(self.name, "queue_len",
+                                   len(self._ready) + 1)
         job.note_enqueue()
         heapq.heappush(self._ready, (job.seniority, job))
         self._dispatch()
@@ -314,6 +329,11 @@ class CorePoolScheduler:
             return None
         core = next(c for c in self._cores if c.core_id == youngest_core)
         victim = self._running.pop(youngest_core)
+        if self.env.trace.enabled:
+            self.env.trace.instant(
+                "preemption", self.name, core=youngest_core,
+                victim=victim.job_id, victim_fn=victim.function_name,
+                winner=candidate.job_id, winner_fn=candidate.function_name)
         core.preempt()
         self._consume_ewt(victim)
         victim.note_enqueue()
@@ -330,6 +350,11 @@ class CorePoolScheduler:
         if abs(core.frequency - target_freq) > 1e-12:
             # The frequency change occupies the core before work starts
             # (sandboxed path for PowerCtrl, kernel path for boosts).
+            if self.env.trace.enabled:
+                self.env.trace.instant(
+                    "freq_transition", self.name, core=core.core_id,
+                    from_ghz=core.frequency, to_ghz=target_freq,
+                    job=job.job_id, reason="dispatch")
             pre_overhead += self._transition_cost(self.switch_cost())
             core.set_frequency(target_freq, cost_s=0.0)
             self.stats.frequency_switches += 1
@@ -412,6 +437,8 @@ class CorePoolScheduler:
         self._ewt_s -= self._ewt_amounts.pop(job.job_id, 0.0)
         self.stats.served += 1
         self.stats.total_wait_s += job.t_queue
+        if self.env.trace.enabled:
+            self.env.trace.counter(self.name, "ewt_s", self.ewt_seconds)
         job.complete()
         if self.on_complete is not None:
             self.on_complete(job)
@@ -421,6 +448,7 @@ class CorePoolScheduler:
         if core.core_id in self._pending_removal:
             self._pending_removal.discard(core.core_id)
             self._cores.remove(core)
+            self.env.trace.counter(self.name, "pool_size", len(self._cores))
             if self.on_core_released is not None:
                 self.on_core_released(core)
             return

@@ -12,7 +12,7 @@ A *system* (Baseline, Baseline+PowerCtrl, EcoFaaS) provides two things:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from repro.hardware.server import Server
 from repro.platform.containers import ContainerManager
@@ -37,7 +37,9 @@ class NodeSystem(abc.ABC):
         self.server = server
         self.metrics = metrics
         self.rng = rng
-        self.containers = ContainerManager(env)
+        #: Trace track for node-level events/counters (repro.obs).
+        self.track = f"node{server.server_id}"
+        self.containers = ContainerManager(env, owner=self.track)
         #: Reliability state (repro.faults): a crashed node is ``down`` —
         #: invisible to the load balancer — until its reboot completes.
         self.down = False
@@ -71,6 +73,14 @@ class NodeSystem(abc.ABC):
     def prewarm(self, fn_model: FunctionModel, budget_s: float,
                 benchmark: str) -> None:
         """Start this function's container ahead of need (optional)."""
+
+    def iter_pools(self) -> Iterable:
+        """The node's live core pools (observability/counter sampling).
+
+        Subclasses override; the default (no pools exposed) keeps node
+        models without pool structure working untraced.
+        """
+        return ()
 
     def finalize(self) -> None:
         """Flush all energy accounting (end of run)."""
@@ -111,8 +121,13 @@ class NodeSystem(abc.ABC):
         # Waiters on in-flight cold starts were just aborted, so the old
         # manager's pending ready events can simply be dropped.
         self.containers = ContainerManager(self.env,
-                                           self.containers.keep_alive_s)
-        return [job for job in lost if not job.is_prewarm]
+                                           self.containers.keep_alive_s,
+                                           owner=self.track)
+        survivors = [job for job in lost if not job.is_prewarm]
+        self.env.trace.instant("node_crash", self.track,
+                               jobs_lost=len(survivors),
+                               crash_count=self.crash_count)
+        return survivors
 
     def reboot(self) -> None:
         """Bring a crashed node back with a clean controller state."""
@@ -121,6 +136,7 @@ class NodeSystem(abc.ABC):
                 f"node {self.server.server_id} is not down; cannot reboot")
         self._rebuild()
         self.down = False
+        self.env.trace.instant("node_reboot", self.track)
 
     def kill_container(self, function_name: str) -> str:
         """Fault hook: kill one function's container on this node.

@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -25,6 +26,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Observability hook (repro.obs). The shared null tracer makes
+        #: every instrumentation point a no-op; ``Tracer.bind(env)``
+        #: swaps in a recording tracer stamped with this clock.
+        self.trace = NULL_TRACER
 
     @property
     def now(self) -> float:

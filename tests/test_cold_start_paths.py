@@ -1,6 +1,5 @@
 """Cold-start corner cases across the platform layer."""
 
-import pytest
 
 from repro.baselines import BaselineSystem
 from repro.core import EcoFaaSConfig, EcoFaaSSystem

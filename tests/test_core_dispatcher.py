@@ -63,7 +63,7 @@ class TestDispatcherColdPaths:
         env, node, store = make_node()
         warm_profile(store, WEB_SERV)
         # Warm the container first.
-        first = submit(env, node, WEB_SERV, deadline_offset=10.0)
+        submit(env, node, WEB_SERV, deadline_offset=10.0)
         env.run()
         job = submit(env, node, WEB_SERV, deadline_offset=None)
         assert job.chosen_freq_ghz == 3.0

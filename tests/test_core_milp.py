@@ -10,7 +10,7 @@ from repro.core.dpt import (
     split_deadlines,
     split_deadlines_exhaustive,
 )
-from repro.core.milp import MilpProblem, MilpSolution, solve_milp
+from repro.core.milp import MilpProblem, solve_milp
 from repro.hardware.frequency import FrequencyScale
 from repro.hardware.power import PowerModel
 from repro.workloads.applications import Workflow, WorkflowStage

@@ -5,7 +5,6 @@ these cover the analytic/microbenchmark ones so ``pytest tests/`` alone
 still validates them.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

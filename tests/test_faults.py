@@ -6,7 +6,6 @@ lose no invocations once the frontend retries; timeouts/hedges behave and
 are accounted; spike/stall windows compose and restore exactly.
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for heterogeneous-server support (Section VI-E3 integrated)."""
 
-import numpy as np
 import pytest
 
 from repro.core import EcoFaaSConfig, EcoFaaSSystem

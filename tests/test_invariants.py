@@ -5,7 +5,6 @@ and EcoFaaS; regardless of configuration the platform must conserve jobs,
 time, cores, and energy.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,7 +16,6 @@ from repro.platform.cluster import Cluster, ClusterConfig
 from repro.platform.reliability import ReliabilityPolicy
 from repro.sim import Environment
 from repro.traces.poisson import PoissonLoadConfig, generate_poisson_trace
-from repro.workloads.registry import benchmark_names
 
 SYSTEM_FACTORIES = {
     "baseline": BaselineSystem,

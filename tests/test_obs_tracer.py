@@ -1,0 +1,196 @@
+"""Unit tests for the tracing core (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracer import PHASES
+from repro.sim import Environment
+
+
+def make_bound_tracer():
+    env = Environment()
+    tracer = Tracer()
+    tracer.begin_run("test")
+    tracer.bind(env)
+    return env, tracer
+
+
+class TestNullTracer:
+    def test_every_environment_starts_with_the_null_tracer(self):
+        env = Environment()
+        assert env.trace is NULL_TRACER
+        assert env.trace.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        tracer = NullTracer()
+        tracer.bind(object())
+        tracer.begin_run("x")
+        tracer.invocation_begin(1, "fn", foo=1)
+        tracer.invocation_end(1, "completed")
+        tracer.phase(1, "run")
+        tracer.workflow_begin(1, "wf")
+        tracer.workflow_end(1, "completed")
+        tracer.instant("preemption", "pool")
+        tracer.counter("node0", "power_w", 1.0)
+
+    def test_bind_does_not_hijack_env_trace(self):
+        env = Environment()
+        NULL_TRACER.bind(env)
+        assert env.trace is NULL_TRACER
+
+
+class TestTracerLifecycle:
+    def test_bind_installs_self_as_env_trace(self):
+        env, tracer = make_bound_tracer()
+        assert env.trace is tracer
+        assert tracer.enabled is True
+
+    def test_unbound_tracer_raises_on_stamp(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            tracer.instant("x", "track")
+
+    def test_counter_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(counter_period_s=0.0)
+
+    def test_hooks_before_begin_run_open_anonymous_run(self):
+        env = Environment()
+        tracer = Tracer()
+        tracer.bind(env)
+        tracer.instant("x", "track")
+        assert tracer.run_labels == ["run"]
+        assert tracer.instants[0].run == 0
+
+    def test_begin_run_closes_previous_runs_open_spans(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            tracer.invocation_begin(7, "fn")
+            tracer.phase(7, "queue")
+            yield env.timeout(3.0)
+
+        env.process(proc())
+        env.run()
+        tracer.begin_run("second")
+        (invocation,) = tracer.spans_of("invocation")
+        (phase,) = tracer.spans_of("phase")
+        assert invocation.t1 == 3.0  # closed at the run's last timestamp
+        assert invocation.args["status"] == "unfinished"
+        assert phase.t1 == 3.0
+        assert tracer.run_labels == ["test", "second"]
+
+
+class TestSpans:
+    def test_invocation_span_records_times_and_args(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            tracer.invocation_begin(1, "fnA", benchmark="B")
+            yield env.timeout(2.5)
+            tracer.invocation_end(1, "completed", energy_j=4.0)
+
+        env.process(proc())
+        env.run()
+        (span,) = tracer.spans_of("invocation")
+        assert (span.name, span.uid, span.t0, span.t1) == ("fnA", 1, 0.0, 2.5)
+        assert span.duration_s == 2.5
+        assert span.args == {"benchmark": "B", "energy_j": 4.0,
+                             "status": "completed"}
+
+    def test_phase_transitions_close_the_previous_phase(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            tracer.invocation_begin(1, "fn")
+            tracer.phase(1, "queue")
+            yield env.timeout(1.0)
+            tracer.phase(1, "run")
+            yield env.timeout(2.0)
+            tracer.phase(1, "block")
+            yield env.timeout(0.5)
+            tracer.invocation_end(1, "completed")
+
+        env.process(proc())
+        env.run()
+        phases = tracer.spans_of("phase")
+        assert [p.name for p in phases] == ["queue", "run", "block"]
+        assert all(p.name in PHASES for p in phases)
+        assert [(p.t0, p.t1) for p in phases] == [
+            (0.0, 1.0), (1.0, 3.0), (3.0, 3.5)]
+
+    def test_duplicate_invocation_end_is_ignored(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            tracer.invocation_begin(1, "fn")
+            yield env.timeout(1.0)
+            tracer.invocation_end(1, "aborted")
+            tracer.invocation_end(1, "completed")  # idempotent abort+complete
+
+        env.process(proc())
+        env.run()
+        (span,) = tracer.spans_of("invocation")
+        assert span.args["status"] == "aborted"
+
+    def test_workflow_span(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            tracer.workflow_begin(0, "VidAn", slo_s=1.0)
+            yield env.timeout(0.8)
+            tracer.workflow_end(0, "completed", met_slo=True)
+
+        env.process(proc())
+        env.run()
+        (span,) = tracer.spans_of("workflow")
+        assert span.kind == "workflow"
+        assert span.args == {"slo_s": 1.0, "met_slo": True,
+                             "status": "completed"}
+
+    def test_spans_of_filters_by_run(self):
+        env, tracer = make_bound_tracer()
+        tracer.invocation_begin(1, "a")
+        tracer.invocation_end(1, "completed")
+        tracer.begin_run("second")
+        tracer.bind(env)
+        tracer.invocation_begin(1, "b")
+        tracer.invocation_end(1, "completed")
+        assert [s.name for s in tracer.spans_of("invocation", 0)] == ["a"]
+        assert [s.name for s in tracer.spans_of("invocation", 1)] == ["b"]
+        assert len(tracer.spans_of("invocation")) == 2
+
+
+class TestInstantsAndCounters:
+    def test_instant_records_track_time_and_args(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            yield env.timeout(1.5)
+            tracer.instant("preemption", "pool@0", victim=3)
+
+        env.process(proc())
+        env.run()
+        (inst,) = tracer.instants_named("preemption")
+        assert (inst.track, inst.t, inst.args) == ("pool@0", 1.5,
+                                                   {"victim": 3})
+        assert tracer.instants_named("no_such_name") == []
+
+    def test_counter_coerces_value_to_float(self):
+        env, tracer = make_bound_tracer()
+        tracer.counter("node0", "outstanding", 7)
+        (sample,) = tracer.counters
+        assert sample.value == 7.0
+        assert isinstance(sample.value, float)
+        assert (sample.track, sample.series) == ("node0", "outstanding")
+
+    def test_run_end_tracks_latest_timestamp(self):
+        env, tracer = make_bound_tracer()
+
+        def proc():
+            yield env.timeout(4.0)
+            tracer.instant("x", "t")
+
+        env.process(proc())
+        env.run()
+        assert tracer.run_end_s == [4.0]

@@ -1,6 +1,5 @@
 """Tests for the Job lifecycle object."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.work import WorkUnit

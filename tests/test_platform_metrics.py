@@ -1,0 +1,78 @@
+"""Tests for percentile coercion and MetricsCollector reset."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.platform.metrics import MetricsCollector, percentile
+
+
+class TestPercentile:
+    def test_list_input(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_numpy_array_input(self):
+        values = np.array([10.0, 20.0, 30.0])
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 100.0) == 30.0
+
+    def test_generator_input_is_consumed_once(self):
+        # A one-shot generator supports neither len() nor a second pass;
+        # percentile must materialize it instead of silently seeing [].
+        result = percentile((x / 10 for x in range(11)), 50.0)
+        assert result == pytest.approx(0.5)
+
+    def test_empty_iterables_yield_nan(self):
+        assert math.isnan(percentile([], 99.0))
+        assert math.isnan(percentile(iter([]), 99.0))
+        assert math.isnan(percentile(np.array([]), 99.0))
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestMetricsCollectorReset:
+    def populate(self, collector):
+        collector.record_workflow("WebServ", 0.0, 1.5, 1.0)
+        collector.record_retry()
+        collector.record_hedge()
+        collector.record_timeout()
+        collector.record_failure("rpc_spike")
+        collector.record_crash(lost_jobs=2, lost_energy_j=5.0)
+        collector.record_recovery(3.0)
+        collector.record_workflow_failure("WebServ")
+
+    def test_reset_restores_pristine_state(self):
+        collector = MetricsCollector()
+        self.populate(collector)
+        assert collector.workflow_records
+        assert collector.retries == 1
+        collector.reset()
+        fresh = MetricsCollector()
+        assert vars(collector) == vars(fresh)
+
+    def test_reset_clears_every_rollup(self):
+        collector = MetricsCollector()
+        self.populate(collector)
+        collector.reset()
+        assert collector.completed_workflows() == 0
+        assert collector.failure_count() == 0
+        assert collector.mttr_s() == 0.0
+        assert collector.slo_violation_rate() == 0.0
+        assert collector.retry_energy_j == 0.0
+        assert collector.jobs_lost_to_crash == 0
+
+    def test_reused_collector_matches_fresh_one(self):
+        # The regression this guards: a collector carried through a sweep
+        # must not leak one run's counters into the next run's rollups.
+        reused = MetricsCollector()
+        self.populate(reused)
+        reused.reset()
+        self.populate(reused)
+        fresh = MetricsCollector()
+        self.populate(fresh)
+        assert vars(reused) == vars(fresh)

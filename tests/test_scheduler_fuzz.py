@@ -5,7 +5,6 @@ retunes, drains) at random times, and checks the invariants that every
 higher layer depends on: no lost jobs, conserved work, sane accounting.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
