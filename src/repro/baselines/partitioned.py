@@ -150,6 +150,25 @@ class PartitionedNode(NodeSystem):
         self._last_activity = {}
         self._free_cores = list(self.server.cores)
 
+    # ------------------------------------------------------------------
+    # Guard hooks (repro.guard)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Optional[Dict[str, object]]:
+        """Snapshot core ownership: which functions own pools here."""
+        return {
+            "functions": sorted(self._pools),
+            "last_activity": dict(self._last_activity),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> bool:
+        """Re-create the checkpointed pools so ownership resumes warm."""
+        for name in state.get("functions", ()):
+            self._pool_for(name)
+        activity = state.get("last_activity") or {}
+        for name, seen_s in activity.items():
+            self._last_activity[name] = float(seen_s)
+        return True
+
     def _retire_idle_pools(self) -> None:
         cutoff = self.env.now - POOL_IDLE_TIMEOUT_S
         for name in list(self._pools):

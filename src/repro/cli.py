@@ -43,7 +43,7 @@ def _chart(key: str, result) -> None:
     print()
 
 
-def _run_one(key: str, quick: bool, seed: int, chart: bool = False) -> None:
+def _run_one(key: str, quick: bool, seed: int, chart: bool = False) -> float:
     module = importlib.import_module(EXPERIMENTS[key])
     start = time.perf_counter()
     result = module.run(quick=quick, seed=seed)
@@ -53,6 +53,20 @@ def _run_one(key: str, quick: bool, seed: int, chart: bool = False) -> None:
         _chart(key, result)
     print(f"[{key} completed in {elapsed:.1f}s]")
     print()
+    return elapsed
+
+
+def _print_summary(outcomes: List[tuple]) -> None:
+    """The per-experiment pass/fail summary table of ``repro all``."""
+    width = max(len(key) for key, _, _ in outcomes)
+    print("== summary ==")
+    print(f"{'experiment'.ljust(width)}  result  detail")
+    print(f"{'-' * width}  ------  ------")
+    for key, passed, detail in outcomes:
+        print(f"{key.ljust(width)}  {'PASS' if passed else 'FAIL':6s}"
+              f"  {detail}")
+    n_failed = sum(1 for _, passed, _ in outcomes if not passed)
+    print(f"{len(outcomes) - n_failed}/{len(outcomes)} experiments passed")
 
 
 def _report(argv: List[str]) -> int:
@@ -131,26 +145,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.experiment == "all":
             # One failing experiment must not abort the whole sweep: run
-            # every one, report the failures at the end, exit non-zero if
-            # any.
-            failures: List[str] = []
+            # every one, print the pass/fail summary table at the end,
+            # exit non-zero if any failed.
+            outcomes: List[tuple] = []
             for key in EXPERIMENTS:
                 try:
-                    _run_one(key, quick=not args.full, seed=args.seed,
-                             chart=args.chart)
+                    elapsed = _run_one(key, quick=not args.full,
+                                       seed=args.seed, chart=args.chart)
+                    outcomes.append((key, True, f"{elapsed:.1f}s"))
                 except Exception as error:  # noqa: BLE001 - sweep must go on
-                    failures.append(key)
+                    outcomes.append(
+                        (key, False, f"{type(error).__name__}: {error}"))
                     print(f"[{key} FAILED: {type(error).__name__}: {error}]",
                           file=sys.stderr)
                     print()
-            status = 1 if failures else 0
-            if failures:
-                print(f"{len(failures)} experiment(s) failed:"
-                      f" {', '.join(failures)}", file=sys.stderr)
+            _print_summary(outcomes)
+            status = 0 if all(passed for _, passed, _ in outcomes) else 1
         else:
-            _run_one(args.experiment, quick=not args.full, seed=args.seed,
-                     chart=args.chart)
-            status = 0
+            try:
+                _run_one(args.experiment, quick=not args.full,
+                         seed=args.seed, chart=args.chart)
+                status = 0
+            except Exception as error:  # noqa: BLE001 - exit code, not trace
+                print(f"[{args.experiment} FAILED:"
+                      f" {type(error).__name__}: {error}]", file=sys.stderr)
+                status = 1
     finally:
         if tracer is not None:
             obs.uninstall()

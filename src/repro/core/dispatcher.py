@@ -50,19 +50,29 @@ class EnergyAwareDispatcher:
     def _overpredict(self, value: float) -> float:
         return value * (1.0 + self.node.config.overprediction_error)
 
+    def _sanitize(self, kind: str, value: float) -> float:
+        """Safe mode (repro.guard): screen one prediction if armed."""
+        guard = self.node.env.guard
+        if guard is None:
+            return value
+        return guard.sanitize_prediction(self.fn_model.name, kind, value,
+                                         self.node.track)
+
     def _predict_t_run(self, freq: float, job: Job) -> float:
-        return self._overpredict(self.node.store.predict_t_run(
-            self.fn_model.name, self.machine_type, freq,
-            job.spec.features))
+        return self._sanitize(f"t_run@{freq:.2f}", self._overpredict(
+            self.node.store.predict_t_run(
+                self.fn_model.name, self.machine_type, freq,
+                job.spec.features)))
 
     def _predict_t_block(self, job: Job) -> float:
-        return self.node.store.predict_t_block(
-            self.fn_model.name, self.machine_type, job.spec.features)
+        return self._sanitize("t_block", self.node.store.predict_t_block(
+            self.fn_model.name, self.machine_type, job.spec.features))
 
     def _predict_energy(self, freq: float, job: Job) -> float:
-        return self.node.store.predict_energy(
-            self.fn_model.name, self.machine_type, freq,
-            job.spec.features)
+        return self._sanitize(f"energy@{freq:.2f}",
+                              self.node.store.predict_energy(
+                                  self.fn_model.name, self.machine_type,
+                                  freq, job.spec.features))
 
     # ------------------------------------------------------------------
     # Registration
@@ -76,6 +86,13 @@ class EnergyAwareDispatcher:
             # No trustworthy profile, a critical-path cold start, or a
             # best-effort request: highest possible frequency (Section
             # VI-B / VI-E1).
+            self._submit_at_max(job)
+            return
+        guard = self.node.env.guard
+        if guard is not None and guard.dpt_stale(self.fn_model.name):
+            # Safe mode: the profile has gone stale — pin to the top
+            # frequency (always deadline-safe) until fresh data arrives.
+            guard.record_freq_pin(self.fn_model.name, self.node.track)
             self._submit_at_max(job)
             return
         self._register_profiled(job)
@@ -239,3 +256,6 @@ class EnergyAwareDispatcher:
         self.profile.observe(dominant, job.t_run, job.t_block,
                              job.energy_j, job.spec.features)
         self.node.store.note_observation()
+        guard = self.node.env.guard
+        if guard is not None:
+            guard.note_observation(self.fn_model.name)

@@ -71,6 +71,9 @@ class DeadlineSplit:
     energy_j: float
     #: Whether the plan fits inside the SLO.
     feasible: bool
+    #: The solver ran out of its node budget (repro.guard safe mode):
+    #: the plan is an unproven incumbent or the max-frequency fallback.
+    solver_exhausted: bool = False
 
     def function_deadlines(self, workflow: Workflow,
                            arrival_s: float) -> Dict[str, float]:
@@ -85,13 +88,18 @@ class DeadlineSplit:
 
 
 def split_deadlines(workflow: Workflow, slo_s: float,
-                    dpt: DelayPowerTable) -> DeadlineSplit:
+                    dpt: DelayPowerTable,
+                    max_nodes: Optional[int] = None) -> DeadlineSplit:
     """Minimise total energy under the SLO via MILP (Section VI-A).
 
     Requires a fully populated DPT for every function of the workflow.
     When even the all-max-frequency plan misses the SLO the problem is
     infeasible; the returned split then uses the fastest plan and marks
     ``feasible=False`` (the system will boost at run time).
+
+    ``max_nodes`` caps the branch-and-bound node count (repro.guard's
+    safe-mode budget); a capped solve that ran out of nodes marks the
+    split ``solver_exhausted=True`` so callers can fall back.
     """
     if slo_s <= 0:
         raise ValueError(f"SLO must be positive: {slo_s}")
@@ -144,10 +152,14 @@ def split_deadlines(workflow: Workflow, slo_s: float,
     problem = MilpProblem(c=c, integer_mask=integer_mask,
                           a_ub=np.array(rows), b_ub=np.array(rhs),
                           a_eq=a_eq, b_eq=b_eq, bounds=bounds)
-    solution = solve_milp(problem)
+    if max_nodes is None:
+        solution = solve_milp(problem)
+    else:
+        solution = solve_milp(problem, max_nodes=max_nodes)
 
     if not solution.ok:
-        return _fastest_plan(workflow, dpt, slo_s)
+        return _fastest_plan(workflow, dpt, slo_s,
+                             solver_exhausted=solution.exhausted)
 
     frequencies: Dict[str, float] = {}
     for i, fn in enumerate(functions):
@@ -169,11 +181,13 @@ def split_deadlines(workflow: Workflow, slo_s: float,
         scale_up = slo_s / total
         budgets = [b * scale_up for b in budgets]
     return DeadlineSplit(frequencies=frequencies, stage_budgets=budgets,
-                         energy_j=float(solution.objective), feasible=True)
+                         energy_j=float(solution.objective), feasible=True,
+                         solver_exhausted=solution.exhausted)
 
 
 def _fastest_plan(workflow: Workflow, dpt: DelayPowerTable,
-                  slo_s: float) -> DeadlineSplit:
+                  slo_s: float,
+                  solver_exhausted: bool = False) -> DeadlineSplit:
     """All functions at the top frequency (the infeasible-SLO fallback)."""
     top = dpt.scale.max
     frequencies = {fn.name: top for fn in workflow.functions}
@@ -181,7 +195,8 @@ def _fastest_plan(workflow: Workflow, dpt: DelayPowerTable,
                for stage in workflow.stages]
     energy = sum(dpt.energies(fn.name)[top] for fn in workflow.functions)
     return DeadlineSplit(frequencies=frequencies, stage_budgets=budgets,
-                         energy_j=energy, feasible=False)
+                         energy_j=energy, feasible=False,
+                         solver_exhausted=solver_exhausted)
 
 
 def split_deadlines_exhaustive(workflow: Workflow, slo_s: float,

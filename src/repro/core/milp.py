@@ -62,6 +62,9 @@ class MilpSolution:
     x: Optional[np.ndarray] = None
     objective: Optional[float] = None
     nodes_explored: int = 0
+    #: The node budget ran out with branches still open: the answer (if
+    #: any) is the best incumbent, not a proven optimum.
+    exhausted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -126,11 +129,14 @@ def solve_milp(problem: MilpProblem, max_nodes: int = 20_000) -> MilpSolution:
                            (child.fun, next(counter),
                             tuple(child_bounds), child))
 
+    exhausted = bool(frontier) and explored >= max_nodes
     if best_x is None:
-        return MilpSolution(status="infeasible", nodes_explored=explored)
+        return MilpSolution(status="infeasible", nodes_explored=explored,
+                            exhausted=exhausted)
     # Snap integers exactly.
     best_x = best_x.copy()
     for i in np.nonzero(problem.integer_mask)[0]:
         best_x[i] = round(best_x[i])
     return MilpSolution(status="optimal", x=best_x,
-                        objective=float(best_obj), nodes_explored=explored)
+                        objective=float(best_obj), nodes_explored=explored,
+                        exhausted=exhausted)

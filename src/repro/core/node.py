@@ -53,6 +53,8 @@ class EcoFaaSNode(NodeSystem):
         self._demand: Dict[float, float] = {}
         #: Fig. 21 data: pool count sampled at every refresh.
         self.pool_count_samples: List[tuple] = []
+        #: When the control loop last ran (the guard watchdog's signal).
+        self.last_refresh_s = env.now
         # Start with every core in one pool at the top frequency — the
         # no-knowledge-yet default.
         self._pools.append(self._make_pool(self.scale.max,
@@ -268,8 +270,49 @@ class EcoFaaSNode(NodeSystem):
         self._pools = [self._make_pool(self.scale.max,
                                        list(self.server.cores))]
 
+    # ------------------------------------------------------------------
+    # Guard hooks (repro.guard): checkpoints and the refresh watchdog
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Optional[Dict[str, object]]:
+        """Snapshot the learned control state the reboot would lose.
+
+        Pool shape (``_targets``) and the smoothed demand histogram are
+        the state the controller spends several ``T_refresh`` windows
+        re-learning after a cold reboot. Function profiles need no
+        snapshot: they live in the shared :class:`ProfileStore`, which
+        survives crashes by design.
+        """
+        return {
+            "targets": dict(self._targets),
+            "demand_ewma": dict(self._demand_ewma),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> bool:
+        """Resume the pool shape from a checkpoint (post-reboot).
+
+        The smoothed demand histogram is re-applied through the normal
+        refresh machinery, so the restored pool set is exactly what the
+        next refresh would have computed from that demand.
+        """
+        ewma = state.get("demand_ewma") or {}
+        self._demand_ewma = {float(level): float(weight)
+                             for level, weight in ewma.items()}
+        if self._demand_ewma:
+            self._apply_demand(dict(self._demand_ewma))
+        return True
+
+    def watchdog_check(self, factor: float) -> bool:
+        stale_after = factor * self.config.t_refresh_s
+        if not self.config.elastic:
+            return False
+        if self.env.now - self.last_refresh_s <= stale_after:
+            return False
+        self.refresh()
+        return True
+
     def refresh(self) -> None:
         """Recompute the pool set from the window's demand and stats."""
+        self.last_refresh_s = self.env.now
         stats = {id(pool): pool.stats.reset()
                  for pool in self._pools + self._retiring}
         demand, self._demand = self._demand, {}

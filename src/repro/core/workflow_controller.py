@@ -66,8 +66,18 @@ class WorkflowController:
             return
         self._populate_dpt()
         if self.config.use_milp:
-            self._split = split_deadlines(self.workflow, slo_s, self.dpt)
+            guard = getattr(self.env, "guard", None)
+            budget = guard.milp_node_budget if guard is not None else None
+            split = split_deadlines(self.workflow, slo_s, self.dpt,
+                                    max_nodes=budget)
             self.milp_runs += 1
+            if guard is not None and split.solver_exhausted:
+                # Safe mode: an unproven plan is not trusted — use the
+                # proportional split until the next T_update.
+                guard.record_milp_fallback(self.workflow.name)
+                self._split = None
+            else:
+                self._split = split
         else:
             self._split = None  # ablation: proportional split only
 

@@ -46,4 +46,5 @@ EXPERIMENTS = {
     "ablations": "repro.experiments.ablations",
     "heterogeneous": "repro.experiments.heterogeneous",
     "chaos": "repro.experiments.chaos",
+    "overload": "repro.experiments.overload",
 }

@@ -1,0 +1,130 @@
+"""Overload: graceful degradation past saturation, guards on vs off.
+
+Not a paper figure — the robustness companion to Fig. 18: EcoFaaS driven
+by offered load swept from comfortable utilization to several times the
+cluster's capacity, once with no guards (the plain system) and once with
+the full ``repro.guard`` stack armed (admission control with per-function
+token buckets and EWT-driven brownouts, circuit breakers, safe-mode
+fallbacks, controller checkpoints).
+
+What graceful degradation looks like in the numbers:
+
+* **guards off** — past saturation the backlog compounds: end-of-run
+  in-flight work explodes, the p99 of what does complete grows with the
+  offered load, and goodput collapses as every admitted workflow queues
+  behind an unbounded backlog.
+* **guards on** — the brownout sheds best-effort arrivals first, then
+  rate-limits SLO-bearing ones at the deepest level; what *is* admitted
+  completes with a bounded p99, goodput holds at the saturation plateau
+  instead of collapsing, and below saturation not a single SLO-bearing
+  workflow is shed (the CI smoke asserts exactly that).
+
+Runs are seed-deterministic: both arms replay the identical arrival
+trace per load point, and every guard decision is a pure function of
+simulation time and counters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core import EcoFaaSSystem
+from repro.core.config import EcoFaaSConfig
+from repro.experiments.common import ExperimentResult, run_cluster
+from repro.guard import AdmissionConfig, GuardConfig
+from repro.platform.cluster import ClusterConfig
+from repro.platform.metrics import percentile
+from repro.traces.poisson import (
+    PoissonLoadConfig,
+    generate_poisson_trace,
+    rate_for_utilization,
+)
+from repro.workloads.registry import all_benchmarks, benchmark_names
+
+#: Offered utilization sweep: below, at, and far past saturation.
+UTILIZATIONS = (0.4, 0.8, 1.5, 2.5, 3.5)
+
+#: Brownout thresholds (EWT-seconds per core) used by the guarded arm.
+BROWNOUT_EWT_S = (0.4, 1.2)
+
+
+def best_effort_benchmarks() -> Tuple[str, ...]:
+    """The benchmark sacrificed first in a brownout (fixed, documented)."""
+    return (sorted(benchmark_names())[-1],)
+
+
+def guard_config(n_servers: int, cores_per_server: int) -> GuardConfig:
+    """The guarded arm's policy, sized to the cluster's capacity.
+
+    Each benchmark's token bucket sustains its fair share of the
+    cluster's full saturation throughput, so sub-saturation Poisson
+    bursts ride on the bucket margin and the buckets only bite once the
+    offered load genuinely exceeds what the machines can serve.
+    """
+    sustainable = rate_for_utilization(
+        all_benchmarks(), 1.0, total_cores=n_servers * cores_per_server)
+    per_benchmark = max(sustainable / len(benchmark_names()), 0.5)
+    return GuardConfig.full(admission=AdmissionConfig(
+        rate_rps=per_benchmark,
+        burst=max(2.0 * per_benchmark, 4.0),
+        brownout_ewt_s=BROWNOUT_EWT_S,
+        best_effort=best_effort_benchmarks()))
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "Overload",
+        "Goodput and tail latency past saturation, guards on vs off")
+    duration = 15.0 if quick else 60.0
+    n_servers = 2 if quick else 5
+    cores = 20
+    best_effort = set(best_effort_benchmarks())
+    guard = guard_config(n_servers, cores)
+
+    saturation_rate = rate_for_utilization(all_benchmarks(), 1.0,
+                                           total_cores=n_servers * cores)
+    for utilization in UTILIZATIONS:
+        rate = saturation_rate * utilization
+        trace = generate_poisson_trace(PoissonLoadConfig(
+            benchmark_names(), rate_rps=rate, duration_s=duration,
+            seed=seed + 17))
+        offered = sum(trace.invocation_counts().values())
+        for guards_on in (False, True):
+            config = ClusterConfig(
+                n_servers=n_servers, cores_per_server=cores, seed=seed,
+                drain_s=10.0, guard=guard if guards_on else None)
+            cluster = run_cluster(
+                EcoFaaSSystem(EcoFaaSConfig()), trace, config)
+            metrics = cluster.metrics
+            slo_records = [r for r in metrics.workflow_records
+                           if r.benchmark not in best_effort]
+            slo_latencies = [r.latency_s for r in slo_records]
+            goodput = sum(1 for r in slo_records if r.met_slo)
+            result.add(
+                utilization=utilization,
+                guards="on" if guards_on else "off",
+                offered=offered,
+                completed=metrics.completed_workflows(),
+                goodput=goodput,
+                shed_be=sum(count for bench, count
+                            in metrics.shed_by_benchmark.items()
+                            if bench in best_effort),
+                shed_slo=sum(count for bench, count
+                             in metrics.shed_by_benchmark.items()
+                             if bench not in best_effort),
+                p99_slo_s=round(percentile(slo_latencies, 99.0), 3),
+                stranded=cluster.inflight,
+                energy_j=round(cluster.total_energy_j, 1),
+            )
+
+    result.note("goodput: SLO-bearing workflows completed within their SLO")
+    result.note("offered utilization > 1 is past saturation: the cluster"
+                " cannot serve every arrival")
+    result.note("shed_be / shed_slo: admission drops at the frontend —"
+                " best-effort arrivals go first (brownout level 1), SLO"
+                " work is only rate-limited at level 2")
+    result.note("stranded: workflows still in flight when the run ended —"
+                " the guards-off queue blow-up signal")
+    result.note("guards change nothing below saturation: zero SLO-bearing"
+                " sheds at sub-saturation load (CI-asserted)")
+    return result

@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.guard.config import GuardConfig
+from repro.guard.runtime import GuardRuntime
 from repro.hardware.frequency import FrequencyScale
 from repro.hardware.power import PowerModel
 from repro.hardware.server import Server
@@ -46,6 +48,9 @@ class ClusterConfig:
     #: Frontend reliability policy (repro.faults). None = the original
     #: fire-and-wait dispatch path, byte-for-byte.
     reliability: Optional[ReliabilityPolicy] = None
+    #: Graceful-degradation guards (repro.guard). None = the original
+    #: unguarded code paths, byte-for-byte.
+    guard: Optional[GuardConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -81,6 +86,12 @@ class Cluster:
             system.make_node(env, server, self.metrics, self.rng)
             for server in self.servers
         ]
+        #: Armed guard runtime (repro.guard), when a GuardConfig was given.
+        self.guard: Optional[GuardRuntime] = None
+        if self.config.guard is not None:
+            self.guard = GuardRuntime(self, self.config.guard)
+            env.guard = self.guard
+            self.guard.arm()
         self._rr_index = 0
         #: Workflows in flight (for drain diagnostics).
         self.inflight = 0
@@ -126,6 +137,9 @@ class Cluster:
     # ------------------------------------------------------------------
     def submit_workflow(self, workflow: Workflow) -> None:
         """Start one end-to-end application invocation now."""
+        if self.guard is not None and not self.guard.admit_workflow(
+                workflow.name):
+            return
         self.env.process(self._run_workflow(workflow, self.env.now),
                          name=f"wf-{workflow.name}")
 
@@ -201,9 +215,18 @@ class Cluster:
         every retry is exhausted.
         """
         policy = self.config.reliability
+        guard = self.guard
         attempt = 0
         lost_to_crash_here = 0
         while True:
+            if guard is not None and not guard.breaker_allows(fn_model.name):
+                # The function's breaker is open: fail fast instead of
+                # feeding the retry loop while the function is known-bad.
+                self.metrics.lost_invocations += 1
+                self.env.trace.instant("invocation_lost", "frontend",
+                                       function=fn_model.name,
+                                       attempts=attempt, fast_fail=True)
+                return None
             if attempt > 0:
                 self.metrics.record_retry()
                 self.env.trace.instant("retry", "frontend",
@@ -224,7 +247,9 @@ class Cluster:
             timeout_ev = (self.env.timeout(policy.invocation_timeout_s)
                           if policy.invocation_timeout_s is not None else None)
             hedge_ev = (self.env.timeout(policy.hedge_after_s)
-                        if policy.hedge_after_s is not None else None)
+                        if policy.hedge_after_s is not None
+                        and policy.max_hedges > 0 else None)
+            hedges_fired = 0
             attempt_failed = False
             while not attempt_failed:
                 waits = [j.done for j in jobs]
@@ -240,6 +265,10 @@ class Cluster:
                             other.abandoned = True
                     lost_to_crash_here += sum(1 for j in jobs if j.aborted)
                     self.metrics.crash_redispatches += lost_to_crash_here
+                    if guard is not None:
+                        met = (deadline_s is None
+                               or self.env.now <= deadline_s + 1e-9)
+                        guard.record_attempt_success(fn_model.name, met)
                     return winner
                 if all(j.aborted for j in jobs):
                     lost_to_crash_here += len(jobs)
@@ -259,7 +288,9 @@ class Cluster:
                     attempt_failed = True
                     break
                 if hedge_ev is not None and hedge_ev.processed:
-                    hedge_ev = None
+                    hedges_fired += 1
+                    hedge_ev = (self.env.timeout(policy.hedge_after_s)
+                                if hedges_fired < policy.max_hedges else None)
                     other = self.pick_node(exclude=node)
                     if other is not None and other is not node:
                         duplicate = other.submit(
@@ -275,6 +306,8 @@ class Cluster:
                 # Some (not all) attempts crashed: drop them, keep waiting.
                 lost_to_crash_here += sum(1 for j in jobs if j.aborted)
                 jobs = [j for j in jobs if not j.aborted]
+            if guard is not None:
+                guard.record_attempt_failure(fn_model.name)
             attempt += 1
             if attempt > policy.max_retries:
                 self.metrics.lost_invocations += 1

@@ -124,6 +124,30 @@ class MetricsCollector:
         #: Abandoned attempts that finished executing after being written
         #: off.
         self.abandoned_completions = 0
+        # Guard counters (repro.guard). All stay zero on unguarded runs.
+        #: Workflows shed at admission, by reason (brownout / rate_limit /
+        #: overload).
+        self.shed_workflows: Dict[str, int] = {}
+        #: Workflows shed at admission, by benchmark.
+        self.shed_by_benchmark: Dict[str, int] = {}
+        #: Circuit-breaker trips (closed/half-open -> open).
+        self.breaker_opens = 0
+        #: Invocations failed fast because their function's breaker was
+        #: open.
+        self.breaker_fast_fails = 0
+        #: Pathological predictions caught and replaced by the guard.
+        self.mispredictions = 0
+        #: MILP solves that hit the node budget and fell back to the
+        #: proportional split.
+        self.milp_fallbacks = 0
+        #: Dispatches pinned to the top frequency on a stale profile.
+        self.freq_pins = 0
+        #: Controller checkpoints snapshotted.
+        self.checkpoints_taken = 0
+        #: Reboots resumed from a fresh checkpoint.
+        self.checkpoint_restores = 0
+        #: Stuck control loops kicked by the watchdog.
+        self.watchdog_kicks = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -170,6 +194,17 @@ class MetricsCollector:
     def record_workflow_failure(self, benchmark: str) -> None:
         self.failed_workflows += 1
         self.record_failure(f"workflow:{benchmark}")
+
+    def record_shed(self, benchmark: str, reason: str) -> None:
+        """Admission control dropped one workflow arrival."""
+        self.shed_workflows[reason] = self.shed_workflows.get(reason, 0) + 1
+        self.shed_by_benchmark[benchmark] = (
+            self.shed_by_benchmark.get(benchmark, 0) + 1)
+
+    def shed_count(self, reason: Optional[str] = None) -> int:
+        if reason is not None:
+            return self.shed_workflows.get(reason, 0)
+        return sum(self.shed_workflows.values())
 
     # ------------------------------------------------------------------
     # Reliability rollups

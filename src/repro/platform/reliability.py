@@ -13,6 +13,7 @@ path untouched, so enabling ``repro.faults`` is strictly opt-in.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,8 +42,21 @@ class ReliabilityPolicy:
     #: Launch a duplicate attempt on another node once the primary has run
     #: this long (None = no hedging).
     hedge_after_s: Optional[float] = None
+    #: Duplicates allowed per attempt when hedging is on: after each
+    #: ``hedge_after_s`` without a result another duplicate is launched,
+    #: up to this many (1 = the original single-hedge behavior).
+    max_hedges: int = 1
 
     def __post_init__(self) -> None:
+        for name in ("backoff_base_s", "backoff_multiplier",
+                     "backoff_jitter"):
+            value = getattr(self, name)
+            if math.isnan(value) or math.isinf(value):
+                raise ValueError(f"{name} must be finite: {value}")
+        for name in ("invocation_timeout_s", "hedge_after_s"):
+            value = getattr(self, name)
+            if value is not None and (math.isnan(value) or math.isinf(value)):
+                raise ValueError(f"{name} must be finite: {value}")
         if self.max_retries < 0:
             raise ValueError(f"negative max_retries {self.max_retries}")
         if self.backoff_base_s < 0:
@@ -61,6 +75,8 @@ class ReliabilityPolicy:
         if self.hedge_after_s is not None and self.hedge_after_s <= 0:
             raise ValueError(
                 f"hedge delay must be positive: {self.hedge_after_s}")
+        if self.max_hedges < 0:
+            raise ValueError(f"negative max_hedges {self.max_hedges}")
 
     def backoff_s(self, attempt: int, jitter_draw: float = 0.0) -> float:
         """Backoff before retry ``attempt`` (1-based).

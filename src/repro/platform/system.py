@@ -130,12 +130,19 @@ class NodeSystem(abc.ABC):
         return survivors
 
     def reboot(self) -> None:
-        """Bring a crashed node back with a clean controller state."""
+        """Bring a crashed node back with a clean controller state.
+
+        With checkpoints armed (repro.guard) the rebooted controller is
+        resumed from its latest fresh snapshot instead of staying cold.
+        """
         if not self.down:
             raise RuntimeError(
                 f"node {self.server.server_id} is not down; cannot reboot")
         self._rebuild()
         self.down = False
+        guard = getattr(self.env, "guard", None)
+        if guard is not None:
+            guard.maybe_restore(self)
         self.env.trace.instant("node_reboot", self.track)
 
     def kill_container(self, function_name: str) -> str:
@@ -155,6 +162,34 @@ class NodeSystem(abc.ABC):
         """Subclass hook: reset controller state after a crash."""
         raise NotImplementedError(
             f"{type(self).__name__} does not support fault injection")
+
+    # ------------------------------------------------------------------
+    # Guard hooks (repro.guard)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Optional[Dict[str, object]]:
+        """Snapshot this controller's transient control state.
+
+        Subclasses with state worth preserving across a crash override
+        this; the default (None) opts the node out of checkpointing.
+        """
+        return None
+
+    def restore_state(self, state: Dict[str, object]) -> bool:
+        """Resume from a :meth:`checkpoint_state` snapshot (post-reboot).
+
+        Returns True when the state was applied. The default refuses —
+        a node that cannot checkpoint cannot restore either.
+        """
+        return False
+
+    def watchdog_check(self, factor: float) -> bool:
+        """Kick this controller if its control loop looks stuck.
+
+        ``factor`` scales the controller's own refresh period into the
+        staleness bound. Returns True when a forced refresh happened.
+        The default (no periodic loop to watch) never kicks.
+        """
+        return False
 
     # ------------------------------------------------------------------
     # Shared cold-start plumbing for subclasses

@@ -30,6 +30,10 @@ class Environment:
         #: every instrumentation point a no-op; ``Tracer.bind(env)``
         #: swaps in a recording tracer stamped with this clock.
         self.trace = NULL_TRACER
+        #: Degradation hook (repro.guard). None keeps every guard
+        #: instrumentation point on the pre-guard code path; a cluster
+        #: built with a GuardConfig installs its GuardRuntime here.
+        self.guard = None
 
     @property
     def now(self) -> float:

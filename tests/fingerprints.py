@@ -1,0 +1,117 @@
+"""Canonical run fingerprints (the guard-determinism anchor).
+
+A fingerprint digests every observable outcome of a small reference run —
+function records, workflow records, reliability counters, per-server
+energy — into one SHA-256 hex string. The reference fingerprints in
+``tests/data/seed_fingerprint.json`` were generated from the pre-guard
+seed code; ``tests/test_guard_determinism.py`` asserts that a guards-off
+run still reproduces them byte-for-byte, which is the hard "opt-in means
+untouched" contract of ``repro.guard``.
+
+Regenerate (only when a PR *intentionally* changes baseline behaviour)::
+
+    PYTHONPATH=src python tests/fingerprints.py --write
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                         "seed_fingerprint.json")
+
+
+def _canon(value):
+    """A JSON-stable, full-precision form of any metrics value."""
+    import numpy as np
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, dict):
+        return {repr(k) if isinstance(k, float) else str(k): _canon(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if dataclasses.is_dataclass(value):
+        return {f.name: _canon(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    return value
+
+
+def cluster_fingerprint(cluster) -> str:
+    """SHA-256 over every observable outcome of one finalized cluster."""
+    m = cluster.metrics
+    payload = _canon({
+        "functions": m.function_records,
+        "workflows": m.workflow_records,
+        "retries": m.retries,
+        "hedges": m.hedges,
+        "timeouts": m.timeouts,
+        "failures": m.failures,
+        "lost": m.lost_invocations,
+        "failed_workflows": m.failed_workflows,
+        "retry_energy_j": m.retry_energy_j,
+        "energy": [s.meter.total_j for s in cluster.servers],
+    })
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def reference_runs():
+    """The three reference runs, as (label, cluster-factory) pairs."""
+    from repro.baselines import BaselineSystem
+    from repro.core import EcoFaaSSystem
+    from repro.core.config import EcoFaaSConfig
+    from repro.experiments.common import make_load_trace, run_cluster
+    from repro.faults.plan import FaultPlan
+    from repro.platform.cluster import ClusterConfig
+    from repro.platform.reliability import ReliabilityPolicy
+
+    def trace():
+        return make_load_trace("low", 2, 6.0, seed=3)
+
+    plain = ClusterConfig(n_servers=2, drain_s=4.0)
+    chaos = ClusterConfig(
+        n_servers=2, drain_s=4.0,
+        reliability=ReliabilityPolicy(max_retries=8, backoff_base_s=0.05))
+
+    def chaos_plan():
+        return FaultPlan.calibrated(6.0, 2, ["WebServ", "CNNServ"], seed=5)
+
+    return [
+        ("baseline", lambda: run_cluster(BaselineSystem(), trace(), plain)),
+        ("ecofaas", lambda: run_cluster(EcoFaaSSystem(EcoFaaSConfig()),
+                                        trace(), plain)),
+        ("ecofaas_chaos", lambda: run_cluster(
+            EcoFaaSSystem(EcoFaaSConfig()), trace(), chaos,
+            fault_plan=chaos_plan())),
+    ]
+
+
+def current_fingerprints() -> dict:
+    return {label: cluster_fingerprint(factory())
+            for label, factory in reference_runs()}
+
+
+def load_reference() -> dict:
+    with open(DATA_PATH) as fh:
+        return json.load(fh)
+
+
+if __name__ == "__main__":
+    import sys
+    prints = current_fingerprints()
+    if "--write" in sys.argv:
+        os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
+        with open(DATA_PATH, "w") as fh:
+            json.dump(prints, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {DATA_PATH}")
+    for label, value in sorted(prints.items()):
+        print(f"{label}: {value}")

@@ -52,3 +52,70 @@ def test_unknown_key_renders_nothing(capsys):
     _chart("table1", make_norm_result())
     out = capsys.readouterr().out
     assert out.strip() == ""
+
+
+# ----------------------------------------------------------------------
+# Exit codes and the `repro all` pass/fail summary
+# ----------------------------------------------------------------------
+def _fake_experiments(monkeypatch, modules):
+    """Install synthetic experiment modules into the CLI registry."""
+    import importlib
+    import sys
+    import types
+
+    import repro.cli as cli
+
+    registry = {}
+    for key, run in modules.items():
+        module = types.ModuleType(f"fake_experiments.{key}")
+        module.run = run
+        sys.modules[module.__name__] = module
+        registry[key] = module.__name__
+    monkeypatch.setattr(cli, "EXPERIMENTS", registry)
+    monkeypatch.setattr(importlib, "import_module",
+                        lambda name: sys.modules[name])
+    return cli
+
+
+def _ok_run(quick=True, seed=0):
+    result = ExperimentResult("OK", "always passes")
+    result.add(value=1.0)
+    return result
+
+
+def _boom_run(quick=True, seed=0):
+    raise RuntimeError("boom")
+
+
+def test_single_experiment_failure_exits_nonzero(monkeypatch, capsys):
+    cli = _fake_experiments(monkeypatch, {"ok": _ok_run, "bad": _boom_run})
+    assert cli.main(["ok"]) == 0
+    assert cli.main(["bad"]) == 1
+    err = capsys.readouterr().err
+    assert "bad FAILED: RuntimeError: boom" in err
+
+
+def test_unknown_experiment_exits_2(monkeypatch, capsys):
+    cli = _fake_experiments(monkeypatch, {"ok": _ok_run})
+    assert cli.main(["nope"]) == 2
+
+
+def test_all_keeps_going_and_summarises(monkeypatch, capsys):
+    cli = _fake_experiments(monkeypatch, {"ok": _ok_run, "bad": _boom_run,
+                                          "ok2": _ok_run})
+    assert cli.main(["all"]) == 1
+    captured = capsys.readouterr()
+    # Every experiment ran despite the failure in the middle.
+    assert "== summary ==" in captured.out
+    assert "2/3 experiments passed" in captured.out
+    assert "RuntimeError: boom" in captured.out  # the FAIL row's detail
+    lines = [line for line in captured.out.splitlines()
+             if line.startswith(("ok", "bad"))]
+    assert any("PASS" in line for line in lines)
+    assert any("FAIL" in line for line in lines)
+
+
+def test_all_green_exits_zero(monkeypatch, capsys):
+    cli = _fake_experiments(monkeypatch, {"ok": _ok_run, "ok2": _ok_run})
+    assert cli.main(["all"]) == 0
+    assert "2/2 experiments passed" in capsys.readouterr().out

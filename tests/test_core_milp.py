@@ -74,6 +74,31 @@ class TestMilpSolver:
             MilpProblem(c=np.array([1.0]), integer_mask=np.array([True]),
                         bounds=[(0, 1), (0, 1)])
 
+    def test_node_budget_exhaustion_is_flagged(self):
+        # min x0+x1+x2 st 2x0+3x1+5x2 >= 7, binary: needs branching, so a
+        # one-node budget runs out with the frontier still open.
+        problem = MilpProblem(
+            c=np.array([1.0, 1.0, 1.0]),
+            integer_mask=np.array([True, True, True]),
+            a_ub=np.array([[-2.0, -3.0, -5.0]]), b_ub=np.array([-7.0]),
+            bounds=[(0, 1)] * 3)
+        full = solve_milp(problem)
+        assert full.ok and not full.exhausted
+        assert full.objective == pytest.approx(2.0)
+        starved = solve_milp(problem, max_nodes=1)
+        assert starved.exhausted
+        assert not starved.ok  # no incumbent found in one node
+
+    def test_infeasible_is_not_exhausted(self):
+        problem = MilpProblem(
+            c=np.array([1.0]),
+            integer_mask=np.array([True]),
+            a_ub=np.array([[1.0], [-1.0]]), b_ub=np.array([0.2, -0.8]),
+            bounds=[(0, 1)])
+        solution = solve_milp(problem)
+        assert not solution.ok
+        assert not solution.exhausted  # proven infeasible, not starved
+
     @settings(max_examples=25, deadline=None)
     @given(st.integers(min_value=2, max_value=4),
            st.integers(min_value=0, max_value=10_000))
@@ -249,6 +274,43 @@ class TestSplitDeadlines:
             WorkflowStage((constant_fn("a", 100),)),))
         with pytest.raises(ValueError):
             split_deadlines(workflow, 0.0, make_dpt(workflow))
+
+    def test_single_function_chain_all_slo_regimes(self):
+        workflow = Workflow("solo", (
+            WorkflowStage((constant_fn("a", 100),)),))
+        dpt = make_dpt(workflow)
+        loose = split_deadlines(workflow, slo_s=1.0, dpt=dpt)
+        assert loose.feasible and loose.frequencies["a"] == 1.2
+        tight = split_deadlines(workflow, slo_s=0.101, dpt=dpt)
+        assert tight.feasible and tight.frequencies["a"] == 3.0
+        hopeless = split_deadlines(workflow, slo_s=0.01, dpt=dpt)
+        assert not hopeless.feasible
+        assert not hopeless.solver_exhausted  # infeasible, not starved
+        assert hopeless.frequencies["a"] == 3.0  # fastest-plan fallback
+
+    def test_starved_split_falls_back_and_reports_exhaustion(self):
+        """An intermediate SLO needs branch-and-bound; with a one-node
+        budget the split degrades to the fastest plan and flags it (the
+        Workflow Controller's cue to use the proportional split)."""
+        workflow = Workflow("solo", (
+            WorkflowStage((constant_fn("a", 100),)),))
+        dpt = make_dpt(workflow)
+        full = split_deadlines(workflow, slo_s=0.15, dpt=dpt)
+        assert full.feasible and not full.solver_exhausted
+        starved = split_deadlines(workflow, slo_s=0.15, dpt=dpt,
+                                  max_nodes=1)
+        assert starved.solver_exhausted
+        assert not starved.feasible
+        assert starved.frequencies["a"] == 3.0  # always-safe fallback
+
+    def test_default_max_nodes_is_never_exhausted_on_real_workflows(self):
+        workflow = Workflow("par", (
+            WorkflowStage((constant_fn("p1", 100), constant_fn("p2", 150))),
+            WorkflowStage((constant_fn("tail", 60),)),
+        ))
+        dpt = make_dpt(workflow)
+        for slo in (0.3, 0.5, 0.8):
+            assert not split_deadlines(workflow, slo, dpt).solver_exhausted
 
     def test_queue_time_in_entries_tightens_choices(self):
         workflow = Workflow("chain", (

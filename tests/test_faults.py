@@ -123,7 +123,55 @@ class TestReliabilityPolicy:
         with pytest.raises(ValueError):
             ReliabilityPolicy(hedge_after_s=-1.0)
         with pytest.raises(ValueError):
+            ReliabilityPolicy(max_hedges=-1)
+        with pytest.raises(ValueError):
             RETRY.backoff_s(0)
+
+    @pytest.mark.parametrize("field", [
+        "backoff_base_s", "backoff_multiplier", "backoff_jitter",
+        "invocation_timeout_s", "hedge_after_s"])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")],
+                             ids=["nan", "inf"])
+    def test_non_finite_values_are_rejected(self, field, bad):
+        with pytest.raises(ValueError, match="finite"):
+            ReliabilityPolicy(**{field: bad})
+
+    def test_backoff_stays_in_jitter_bounds(self):
+        policy = ReliabilityPolicy(backoff_base_s=0.1,
+                                   backoff_multiplier=2.0,
+                                   backoff_jitter=0.3)
+        for attempt in (1, 2, 5):
+            nominal = 0.1 * 2.0 ** (attempt - 1)
+            for draw in (-1.0, -0.5, 0.0, 0.5, 1.0):
+                delay = policy.backoff_s(attempt, jitter_draw=draw)
+                assert nominal * 0.7 - 1e-12 <= delay
+                assert delay <= nominal * 1.3 + 1e-12
+
+    def test_max_hedges_zero_disarms_hedging(self):
+        # hedge_after_s set but zero hedges allowed: no duplicate ever
+        # launches, even for a slow cold start.
+        policy = ReliabilityPolicy(max_retries=2, backoff_jitter=0.0,
+                                   hedge_after_s=0.01, max_hedges=0)
+        events = [TraceEvent(0.1, "CNNServ")]
+        cluster = run_chaos(BaselineSystem(), events, 3.0, n_servers=2,
+                            policy=policy)
+        assert cluster.metrics.hedges == 0
+        assert cluster.metrics.completed_workflows() == 1
+
+    def test_max_hedges_caps_duplicates(self):
+        # CNNServ's 1.5 s cold start leaves room for many 0.1 s hedge
+        # windows; the cap keeps the duplicate count at max_hedges.
+        def hedges_with(cap):
+            policy = ReliabilityPolicy(max_retries=2, backoff_jitter=0.0,
+                                       hedge_after_s=0.1, max_hedges=cap)
+            cluster = run_chaos(BaselineSystem(),
+                                [TraceEvent(0.1, "CNNServ")], 4.0,
+                                n_servers=4, policy=policy)
+            assert cluster.metrics.completed_workflows() == 1
+            return cluster.metrics.hedges
+
+        assert hedges_with(1) == 1
+        assert hedges_with(3) == 3
 
 
 class TestInertness:
