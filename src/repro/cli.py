@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 import time
 from typing import List, Optional
@@ -43,10 +44,18 @@ def _chart(key: str, result) -> None:
     print()
 
 
-def _run_one(key: str, quick: bool, seed: int, chart: bool = False) -> float:
+def _run_one(key: str, quick: bool, seed: int, chart: bool = False,
+             ha: bool = False) -> float:
     module = importlib.import_module(EXPERIMENTS[key])
+    kwargs = {}
+    if ha:
+        if "ha" in inspect.signature(module.run).parameters:
+            kwargs["ha"] = True
+        else:
+            print(f"[{key} does not support --ha; running without it]",
+                  file=sys.stderr)
     start = time.perf_counter()
-    result = module.run(quick=quick, seed=seed)
+    result = module.run(quick=quick, seed=seed, **kwargs)
     elapsed = time.perf_counter() - start
     print(result.format_table())
     if chart:
@@ -112,6 +121,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--chart", action="store_true",
                         help="also render ASCII charts where applicable")
     parser.add_argument(
+        "--ha", action="store_true",
+        help="arm the repro.ha high-availability layer in experiments"
+             " that support it (partition, chaos)")
+    parser.add_argument(
         "--trace", metavar="PATH",
         help="record an invocation-lifecycle trace to PATH"
              " (Chrome trace-event JSON, loadable in Perfetto)")
@@ -151,7 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for key in EXPERIMENTS:
                 try:
                     elapsed = _run_one(key, quick=not args.full,
-                                       seed=args.seed, chart=args.chart)
+                                       seed=args.seed, chart=args.chart,
+                                       ha=args.ha)
                     outcomes.append((key, True, f"{elapsed:.1f}s"))
                 except Exception as error:  # noqa: BLE001 - sweep must go on
                     outcomes.append(
@@ -164,7 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             try:
                 _run_one(args.experiment, quick=not args.full,
-                         seed=args.seed, chart=args.chart)
+                         seed=args.seed, chart=args.chart, ha=args.ha)
                 status = 0
             except Exception as error:  # noqa: BLE001 - exit code, not trace
                 print(f"[{args.experiment} FAILED:"

@@ -44,7 +44,11 @@ class WorkflowController:
     def deadlines(self, arrival_s: float, slo_s: float) -> Dict[str, float]:
         """Absolute per-function deadlines for one admission."""
         if self._stale(slo_s):
-            self._recompute(slo_s)
+            ha = getattr(self.env, "ha", None)
+            if ha is None or ha.authorize_split(self.workflow.name):
+                self._recompute(slo_s)
+            # Epoch fencing (repro.ha): with no authorized leader the
+            # previous split stays in force; the next admission retries.
         if self._split is None:
             # Profiles are not ready: proportional split (the same policy
             # Baseline+PowerCtrl uses) until the DPT is populated.

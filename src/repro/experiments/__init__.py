@@ -47,4 +47,5 @@ EXPERIMENTS = {
     "heterogeneous": "repro.experiments.heterogeneous",
     "chaos": "repro.experiments.chaos",
     "overload": "repro.experiments.overload",
+    "partition": "repro.experiments.partition",
 }

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     run_three_systems,
 )
 from repro.faults import FaultPlan
+from repro.ha import HAConfig
 from repro.platform.cluster import ClusterConfig
 from repro.platform.reliability import ReliabilityPolicy
 from repro.workloads.registry import all_benchmarks
@@ -43,7 +44,11 @@ def default_policy() -> ReliabilityPolicy:
                              backoff_multiplier=2.0, backoff_jitter=0.1)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        ha: bool = False) -> ExperimentResult:
+    """``ha=True`` (the CLI's ``--ha``) additionally arms the ``repro.ha``
+    layer, so crashed nodes are suspected and sidestepped by dispatch
+    instead of only being retried around."""
     result = ExperimentResult(
         "Chaos",
         "Energy, tail latency, and recovery under a calibrated fault mix")
@@ -54,7 +59,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         duration_s=duration, n_servers=n_servers,
         functions=all_function_names(), seed=seed)
     config = ClusterConfig(n_servers=n_servers, seed=seed,
-                           drain_s=30.0, reliability=default_policy())
+                           drain_s=30.0, reliability=default_policy(),
+                           ha=HAConfig() if ha else None)
     clusters = run_three_systems(trace, config, fault_plan=plan)
 
     for name in SYSTEM_ORDER:

@@ -4,9 +4,10 @@ The subsystem has two halves:
 
 * :mod:`repro.faults.plan` — a :class:`FaultPlan` is pure data: a seeded,
   sorted schedule of :class:`FaultEvent` entries (node crash + reboot,
-  per-container kill, storage/RPC latency spike, DVFS-driver stall).
-  Building a plan draws from its own named RNG stream, so plans are
-  bit-identical per seed and never perturb workload sampling.
+  per-container kill, storage/RPC latency spike, DVFS-driver stall,
+  network partition, global-controller crash). Building a plan draws
+  from its own named RNG stream, so plans are bit-identical per seed and
+  never perturb workload sampling.
 * :mod:`repro.faults.injector` — a :class:`FaultInjector` replays a plan
   into a running :class:`~repro.platform.cluster.Cluster` as ordinary
   ``repro.sim`` processes, making chaos runs exactly as reproducible as
@@ -20,8 +21,10 @@ plan and no policy, every code path is provably inert.
 
 from repro.faults.plan import (
     CONTAINER_KILL,
+    CONTROLLER_CRASH,
     DVFS_STALL,
     FAULT_KINDS,
+    NETWORK_PARTITION,
     NODE_CRASH,
     RPC_SPIKE,
     FaultEvent,
@@ -31,8 +34,10 @@ from repro.faults.injector import FaultInjector
 
 __all__ = [
     "CONTAINER_KILL",
+    "CONTROLLER_CRASH",
     "DVFS_STALL",
     "FAULT_KINDS",
+    "NETWORK_PARTITION",
     "NODE_CRASH",
     "RPC_SPIKE",
     "FaultEvent",

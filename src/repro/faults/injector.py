@@ -12,7 +12,9 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.faults.plan import (
     CONTAINER_KILL,
+    CONTROLLER_CRASH,
     DVFS_STALL,
+    NETWORK_PARTITION,
     NODE_CRASH,
     RPC_SPIKE,
     FaultEvent,
@@ -58,6 +60,12 @@ class FaultInjector:
         delay = event.time_s - env.now
         if delay > 0:
             yield env.timeout(delay)
+        if event.kind == NETWORK_PARTITION:
+            yield from self._drive_partition(event)
+            return
+        if event.kind == CONTROLLER_CRASH:
+            yield from self._drive_controller_crash(event)
+            return
         index, node = self._node(event)
         if event.kind == NODE_CRASH:
             if node.down:
@@ -100,6 +108,52 @@ class FaultInjector:
                               duration_s=event.duration_s)
             yield from self._windowed(node, self._dvfs_active, index,
                                       event, "dvfs_stall_factor")
+
+    def _drive_partition(self, event: FaultEvent):
+        """Cut the event's link(s) in the cluster's link table, then heal.
+
+        The cluster refuses to build with a partition plan and no HA
+        layer, so ``env.links`` is always live here; cuts and heals go
+        through the table's reference counts, which makes overlapping
+        partitions compose exactly like overlapping latency spikes.
+        """
+        env = self.cluster.env
+        side_a = event.endpoint or f"node{event.node % len(self.cluster.nodes)}"
+        side_b = event.peer
+        if event.direction == "out":
+            pairs = [(side_a, side_b)]
+        elif event.direction == "in":
+            pairs = [(side_b, side_a)]
+        else:
+            pairs = [(side_a, side_b), (side_b, side_a)]
+        self.metrics.record_failure(NETWORK_PARTITION)
+        self.applied.append((env.now, NETWORK_PARTITION, event.node))
+        env.trace.instant(f"fault_{NETWORK_PARTITION}", "faults",
+                          a=side_a, b=side_b, direction=event.direction,
+                          duration_s=event.duration_s)
+        links = env.links
+        for src, dst in pairs:
+            links.cut(src, dst)
+        yield env.timeout(event.duration_s)
+        for src, dst in pairs:
+            links.heal(src, dst)
+        env.trace.instant("partition_healed", "faults", a=side_a, b=side_b)
+
+    def _drive_controller_crash(self, event: FaultEvent):
+        """Crash a global-controller replica; rejoin after the downtime."""
+        env = self.cluster.env
+        ha = env.ha
+        rid = event.node % ha.controllers.n
+        if ha.controller_crash(rid) is None:
+            return  # overlapping crash on a replica already down
+        self.metrics.record_failure(CONTROLLER_CRASH)
+        self.applied.append((env.now, CONTROLLER_CRASH, rid))
+        env.trace.instant(f"fault_{CONTROLLER_CRASH}", "faults",
+                          replica=rid, duration_s=event.duration_s)
+        if event.duration_s <= 0:
+            return  # permanent: the replica stays down for the run
+        yield env.timeout(event.duration_s)
+        ha.controller_rejoin(rid)
 
     def _windowed(self, node: "NodeSystem",
                   active: Dict[int, List[float]], index: int,

@@ -11,6 +11,7 @@ Plans are built *before* the simulation starts, from their own seeded RNG
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -32,8 +33,23 @@ RPC_SPIKE = "rpc_spike"
 #: Frequency-driver stall: DVFS transitions on the node cost ``magnitude``
 #: times more for ``duration_s``.
 DVFS_STALL = "dvfs_stall"
+#: Network partition: the link between two endpoints is cut for
+#: ``duration_s`` (the heal time). ``endpoint`` names one side (default
+#: ``node<node>``), ``peer`` the other (default the frontend), and
+#: ``direction`` selects a symmetric cut (``"both"``) or an asymmetric
+#: one (``"out"`` = endpoint->peer only, ``"in"`` = peer->endpoint only).
+#: Needs the ``repro.ha`` link model (``ClusterConfig.ha``) to be armed.
+NETWORK_PARTITION = "network_partition"
+#: A global-controller replica crashes for ``duration_s`` (0 = stays down
+#: for the rest of the run). ``node`` is the replica id. Needs the
+#: ``repro.ha`` controller group (``ClusterConfig.ha``) to be armed.
+CONTROLLER_CRASH = "controller_crash"
 
-FAULT_KINDS = (NODE_CRASH, CONTAINER_KILL, RPC_SPIKE, DVFS_STALL)
+FAULT_KINDS = (NODE_CRASH, CONTAINER_KILL, RPC_SPIKE, DVFS_STALL,
+               NETWORK_PARTITION, CONTROLLER_CRASH)
+
+#: Valid ``direction`` values of a network partition.
+PARTITION_DIRECTIONS = ("both", "out", "in")
 
 
 @dataclass(frozen=True)
@@ -46,10 +62,16 @@ class FaultEvent:
     node: int = 0
     #: Target function name (container kills only).
     function: Optional[str] = None
-    #: Crash downtime, or spike/stall window length.
+    #: Crash downtime, or spike/stall/partition window length.
     duration_s: float = 0.0
     #: Latency / transition-cost multiplier (spikes and stalls).
     magnitude: float = 1.0
+    #: Partition endpoint on the "a" side (None = ``node<node>``).
+    endpoint: Optional[str] = None
+    #: Partition endpoint on the "b" side.
+    peer: str = "frontend"
+    #: Partition direction: "both", "out" (a->b), or "in" (b->a).
+    direction: str = "both"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -70,6 +92,26 @@ class FaultEvent:
             raise ValueError("a container kill needs a function name")
         if self.kind in (RPC_SPIKE, DVFS_STALL) and self.duration_s <= 0:
             raise ValueError(f"a {self.kind} needs a positive window")
+        if self.kind == NETWORK_PARTITION:
+            if self.duration_s <= 0:
+                raise ValueError(
+                    "a network partition needs a positive heal time")
+            if self.direction not in PARTITION_DIRECTIONS:
+                raise ValueError(
+                    f"partition direction must be one of"
+                    f" {PARTITION_DIRECTIONS}: {self.direction!r}")
+            if not self.peer:
+                raise ValueError("a network partition needs a peer endpoint")
+            if self.endpoint is not None and self.endpoint == self.peer:
+                raise ValueError(
+                    f"a partition needs two distinct endpoints, got"
+                    f" {self.endpoint!r} on both sides")
+
+    def endpoint_a(self) -> str:
+        """The "a"-side link endpoint of a partition event."""
+        if self.endpoint is not None:
+            return self.endpoint
+        return f"node{self.node}"
 
 
 @dataclass(frozen=True)
@@ -86,6 +128,14 @@ class FaultPlan:
     @property
     def has_node_crashes(self) -> bool:
         return any(e.kind == NODE_CRASH for e in self.events)
+
+    @property
+    def has_partitions(self) -> bool:
+        return any(e.kind == NETWORK_PARTITION for e in self.events)
+
+    @property
+    def has_controller_crashes(self) -> bool:
+        return any(e.kind == CONTROLLER_CRASH for e in self.events)
 
     def count(self, kind: Optional[str] = None) -> int:
         if kind is None:
@@ -121,6 +171,16 @@ class FaultPlan:
             raise ValueError(f"duration must be positive: {duration_s}")
         if n_servers < 1:
             raise ValueError(f"need at least one server: {n_servers}")
+        rates = {
+            "crashes_per_node_hour": crashes_per_node_hour,
+            "kills_per_node_hour": kills_per_node_hour,
+            "spikes_per_hour": spikes_per_hour,
+            "stalls_per_hour": stalls_per_hour,
+        }
+        for name, rate in rates.items():
+            if math.isnan(rate) or math.isinf(rate) or rate < 0:
+                raise ValueError(
+                    f"{name} must be a finite non-negative rate: {rate}")
         rng = np.random.default_rng(
             np.random.SeedSequence([seed, stable_hash("faults/plan")]))
         hours = duration_s / 3600.0
@@ -158,4 +218,9 @@ class FaultPlan:
                 node=int(rng.integers(n_servers)),
                 duration_s=float(rng.uniform(1.0, 3.0)),
                 magnitude=float(rng.uniform(50.0, 200.0))))
+        for event in events:
+            if not 0.0 <= event.time_s <= duration_s:
+                raise ValueError(
+                    f"calibrated plan generated an out-of-window event at"
+                    f" t={event.time_s:.3f}s (run duration {duration_s}s)")
         return cls(tuple(events))

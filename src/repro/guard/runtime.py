@@ -111,9 +111,19 @@ class GuardRuntime:
                                function=function_name)
         return False
 
-    def record_attempt_failure(self, function_name: str) -> None:
+    def record_attempt_failure(self, function_name: str,
+                               node: Optional["NodeSystem"] = None) -> None:
         breaker = self.breaker_for(function_name)
         if breaker is None:
+            return
+        ha = getattr(self.env, "ha", None)
+        if ha is not None and node is not None and ha.node_suspected(node):
+            # The membership table blames the node, not the function:
+            # charging the breaker would fail the function cluster-wide
+            # for one machine's partition or crash.
+            self.metrics.breaker_node_blames += 1
+            self.env.trace.instant("breaker_node_blame", FRONTEND_TRACK,
+                                   function=function_name, node=node.track)
             return
         opens_before = breaker.open_count
         breaker.record_failure(self.env.now)

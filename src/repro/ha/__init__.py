@@ -1,0 +1,42 @@
+"""repro.ha — failure detection, partition tolerance, controller failover.
+
+The high-availability layer of the reproduced platform. Everything here
+is opt-in: a :class:`Cluster` built without an :class:`HAConfig` runs the
+pre-HA code paths byte-for-byte (the determinism suite pins this to the
+stored seed fingerprints). With a config, the cluster installs:
+
+* a :class:`LinkTable` as ``env.links`` — the directed network-partition
+  model that ``repro.faults`` cuts and heals;
+* an :class:`HARuntime` as ``env.ha`` — heartbeat-driven phi-accrual
+  failure detection and membership, epoch-fenced controller leases with
+  deterministic failover, and idempotency-keyed re-dispatch of stranded
+  invocations.
+"""
+
+from repro.ha.config import HAConfig
+from repro.ha.controller import ControllerGroup, ControllerReplica
+from repro.ha.detector import (
+    ALIVE,
+    DEAD,
+    SUSPECTED,
+    MembershipTable,
+    PhiAccrualDetector,
+)
+from repro.ha.journal import RedispatchJournal
+from repro.ha.links import LinkTable
+from repro.ha.runtime import FRONTEND, HARuntime
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECTED",
+    "ControllerGroup",
+    "ControllerReplica",
+    "FRONTEND",
+    "HAConfig",
+    "HARuntime",
+    "LinkTable",
+    "MembershipTable",
+    "PhiAccrualDetector",
+    "RedispatchJournal",
+]

@@ -1,0 +1,90 @@
+"""Global-controller replicas: epoch-numbered leases and election state.
+
+The reproduced EcoFaaS control plane has one global controller that
+computes MILP splits and pool-resize targets. Here it becomes a replica
+group: ``ctl0`` starts as leader holding a lease of ``lease_s`` seconds;
+standbys watch the lease and, when it expires, the *lowest-id replica
+that is up and reachable from the frontend* takes over with an
+incremented epoch. The rule needs no quorum messages or randomness, so
+elections are bit-repeatable — and the epoch numbers give consumers a
+total order to fence stale decisions with.
+
+This module is pure state; the :class:`HARuntime` drives renewals,
+elections, and reachability checks against the link table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class ControllerReplica:
+    rid: int
+    #: Link-table endpoint name, ``"ctl<rid>"``.
+    endpoint: str
+    down: bool = False
+    down_at: Optional[float] = None
+    #: This replica's local belief — a partitioned stale leader keeps
+    #: believing (with its old epoch) until it can hear the group again.
+    believes_leader: bool = False
+    believed_epoch: int = 0
+
+
+@dataclass
+class ControllerGroup:
+    n: int
+    lease_s: float
+    replicas: List[ControllerReplica] = field(default_factory=list)
+    #: The group's true epoch (max over any replica's believed epoch).
+    epoch: int = 1
+    leader_id: int = 0
+    lease_expires_s: float = 0.0
+    #: (time, new leader id, new epoch) — one row per failover.
+    elections: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            self.replicas = [ControllerReplica(rid=i, endpoint=f"ctl{i}")
+                             for i in range(self.n)]
+            self.replicas[0].believes_leader = True
+            self.replicas[0].believed_epoch = self.epoch
+            self.lease_expires_s = self.lease_s
+
+    def leader(self) -> ControllerReplica:
+        return self.replicas[self.leader_id]
+
+    def lease_expired(self, now: float) -> bool:
+        return now >= self.lease_expires_s
+
+    def renew(self, now: float) -> None:
+        self.lease_expires_s = now + self.lease_s
+
+    def elect(self, candidate: ControllerReplica, now: float) -> int:
+        """Install ``candidate`` as leader under a fresh epoch."""
+        self.epoch += 1
+        self.leader_id = candidate.rid
+        candidate.believes_leader = True
+        candidate.believed_epoch = self.epoch
+        self.renew(now)
+        self.elections.append((now, candidate.rid, self.epoch))
+        return self.epoch
+
+    def crash(self, rid: int, now: float) -> ControllerReplica:
+        replica = self.replicas[rid]
+        replica.down = True
+        replica.down_at = now
+        # A crashed process holds no beliefs; only *partitioned* replicas
+        # can act as stale leaders.
+        replica.believes_leader = False
+        return replica
+
+    def rejoin(self, rid: int) -> ControllerReplica:
+        replica = self.replicas[rid]
+        replica.down = False
+        return replica
+
+    def snapshot(self) -> Tuple[Tuple[float, int, int], ...]:
+        """Immutable election log for cross-run comparison."""
+        return tuple(self.elections)

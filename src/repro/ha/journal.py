@@ -1,0 +1,89 @@
+"""The idempotency-keyed re-dispatch journal.
+
+Every SLO-bearing function invocation carries an idempotency key —
+``(workflow uid, stage index, position in stage)`` — registered here at
+first dispatch. When the frontend suspects the node an invocation is
+stranded on, the journal authorises **exactly one** re-dispatch of that
+key; later suspicions of the same key find the entry already spent. The
+journal also records completions, so a false suspicion whose original
+invocation finishes after the re-dispatched copy is detected as a fenced
+duplicate rather than a second workflow completion.
+
+Pure bookkeeping — the runtime supplies all timestamps — so the journal
+contents are bit-repeatable across same-seed runs and the determinism
+suite can diff :func:`snapshot` outputs directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: (workflow uid, stage index, position of the function in its stage).
+IdempotencyKey = Tuple[int, int, int]
+
+
+@dataclass
+class JournalEntry:
+    key: IdempotencyKey
+    registered_s: float
+    redispatched_s: Optional[float] = None
+    completed_s: Optional[float] = None
+    completions: int = 0
+
+
+@dataclass
+class RedispatchJournal:
+    _entries: Dict[IdempotencyKey, JournalEntry] = field(default_factory=dict)
+    #: Completions recorded for an already-completed key (must stay 0:
+    #: the invoke loop fences duplicates before they get this far).
+    duplicate_completions: int = 0
+
+    def register(self, key: IdempotencyKey, now: float) -> None:
+        """Idempotent: only the first dispatch of a key creates an entry."""
+        if key not in self._entries:
+            self._entries[key] = JournalEntry(key=key, registered_s=now)
+
+    def entry(self, key: IdempotencyKey) -> Optional[JournalEntry]:
+        return self._entries.get(key)
+
+    def may_redispatch(self, key: IdempotencyKey) -> bool:
+        entry = self._entries.get(key)
+        return (entry is not None and entry.redispatched_s is None
+                and entry.completed_s is None)
+
+    def record_redispatch(self, key: IdempotencyKey, now: float) -> None:
+        entry = self._entries[key]
+        if entry.redispatched_s is not None:
+            raise ValueError(f"second redispatch of key {key}")
+        entry.redispatched_s = now
+
+    def was_redispatched(self, key: IdempotencyKey) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and entry.redispatched_s is not None
+
+    def record_completion(self, key: IdempotencyKey, now: float) -> bool:
+        """Record a completion; False means the key already completed."""
+        entry = self._entries[key]
+        entry.completions += 1
+        if entry.completed_s is not None:
+            self.duplicate_completions += 1
+            return False
+        entry.completed_s = now
+        return True
+
+    def redispatch_count(self) -> int:
+        return sum(1 for e in self._entries.values()
+                   if e.redispatched_s is not None)
+
+    def snapshot(self) -> Tuple[Tuple[IdempotencyKey, float,
+                                      Optional[float], Optional[float],
+                                      int], ...]:
+        """Deterministic journal digest for cross-run comparison."""
+        rows: List[Tuple[IdempotencyKey, float, Optional[float],
+                         Optional[float], int]] = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            rows.append((key, entry.registered_s, entry.redispatched_s,
+                         entry.completed_s, entry.completions))
+        return tuple(rows)

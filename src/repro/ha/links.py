@@ -1,0 +1,59 @@
+"""The directed link model: which simulated messages currently deliver.
+
+Endpoints are the track names the rest of the platform already uses:
+``"frontend"`` for the dispatcher/frontend, ``"node<i>"`` for node
+controllers, and ``"ctl<i>"`` for global-controller replicas. A link is
+an ordered (src, dst) pair; cutting only one direction models an
+asymmetric partition (e.g. a node whose heartbeats are lost while it can
+still receive dispatches).
+
+Cuts are reference-counted so overlapping partition faults compose
+exactly: each :func:`cut` must be matched by one :func:`heal`, and the
+link delivers again only when every overlapping cut has healed — the
+same discipline the fault injector uses for windowed slowdown factors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+
+class LinkTable:
+    """Reference-counted directed link cuts between named endpoints."""
+
+    def __init__(self) -> None:
+        self._cuts: Dict[Tuple[str, str], int] = {}
+        self._heal_callbacks: List[Callable[[str, str], None]] = []
+
+    def delivers(self, src: str, dst: str) -> bool:
+        """Does a message from ``src`` currently reach ``dst``?"""
+        return self._cuts.get((src, dst), 0) == 0
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Both directions deliver (request/response round trip works)."""
+        return self.delivers(a, b) and self.delivers(b, a)
+
+    def cut(self, src: str, dst: str) -> None:
+        """Sever the directed link; stacks with overlapping cuts."""
+        self._cuts[(src, dst)] = self._cuts.get((src, dst), 0) + 1
+
+    def heal(self, src: str, dst: str) -> None:
+        """Undo one :func:`cut`; delivery resumes when all cuts healed."""
+        pair = (src, dst)
+        count = self._cuts.get(pair, 0)
+        if count <= 0:
+            raise ValueError(f"heal of uncut link {src}->{dst}")
+        if count == 1:
+            del self._cuts[pair]
+            for callback in self._heal_callbacks:
+                callback(src, dst)
+        else:
+            self._cuts[pair] = count - 1
+
+    def on_heal(self, callback: Callable[[str, str], None]) -> None:
+        """Register a callback fired when a link fully heals."""
+        self._heal_callbacks.append(callback)
+
+    def cut_pairs(self) -> List[Tuple[str, str]]:
+        """Currently severed (src, dst) pairs, sorted for determinism."""
+        return sorted(self._cuts)

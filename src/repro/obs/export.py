@@ -31,6 +31,11 @@ _EPOCH_INSTANTS = {
     "invocation_timeout": "timeouts",
     "preemption": "preemptions",
     "freq_transition": "freq_transitions",
+    "ha_suspect": "ha_suspicions",
+    "ha_redispatch": "ha_redispatches",
+    "ha_failover": "ha_failovers",
+    "ha_fenced": "ha_fenced",
+    "ha_frozen": "ha_frozen",
 }
 
 
@@ -203,6 +208,8 @@ def epoch_rows(tracer: Tracer, epoch_s: float = 2.0) -> List[Dict[str, Any]]:
             "p50_latency_s": float("nan"), "p99_latency_s": float("nan"),
             "retries": 0, "hedges": 0, "timeouts": 0, "faults": 0,
             "preemptions": 0, "freq_transitions": 0,
+            "ha_suspicions": 0, "ha_redispatches": 0, "ha_failovers": 0,
+            "ha_fenced": 0, "ha_frozen": 0,
             "mean_power_w": float("nan"), "mean_outstanding": float("nan"),
         } for e in range(n_epochs)]
 
@@ -347,6 +354,13 @@ def run_summary(tracer: Tracer, top_n: int = 5) -> str:
                      if i.run == run and i.name.startswith("fault_"))
         lines.append(f"  reliability: {' '.join(reliability)}"
                      f" faults={faults}")
+        ha_counts = {name: len(tracer.instants_named(name, run))
+                     for name in ("ha_suspect", "ha_failover",
+                                  "ha_redispatch", "ha_fenced", "ha_frozen")}
+        if any(ha_counts.values()):
+            lines.append(
+                "  ha: " + " ".join(f"{name.removeprefix('ha_')}={count}"
+                                    for name, count in ha_counts.items()))
         for title, ranked, unit in (
                 ("energy", _top_functions(
                     tracer, run,

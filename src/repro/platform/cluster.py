@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 
 from repro.guard.config import GuardConfig
 from repro.guard.runtime import GuardRuntime
+from repro.ha.config import HAConfig
+from repro.ha.runtime import HARuntime
 from repro.hardware.frequency import FrequencyScale
 from repro.hardware.power import PowerModel
 from repro.hardware.server import Server
@@ -51,6 +53,10 @@ class ClusterConfig:
     #: Graceful-degradation guards (repro.guard). None = the original
     #: unguarded code paths, byte-for-byte.
     guard: Optional[GuardConfig] = None
+    #: High-availability layer (repro.ha): failure detection, controller
+    #: failover, partition tolerance. None = the original code paths,
+    #: byte-for-byte.
+    ha: Optional[HAConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -92,6 +98,16 @@ class Cluster:
             self.guard = GuardRuntime(self, self.config.guard)
             env.guard = self.guard
             self.guard.arm()
+        #: Armed HA runtime (repro.ha), when an HAConfig was given.
+        self.ha: Optional[HARuntime] = None
+        if self.config.ha is not None:
+            if self.config.reliability is None:
+                raise ValueError(
+                    "the HA layer recovers stranded invocations through the"
+                    " frontend's retry machinery; configure"
+                    " ClusterConfig.reliability alongside ClusterConfig.ha")
+            self.ha = HARuntime(self, self.config.ha)
+            self.ha.arm()
         self._rr_index = 0
         #: Workflows in flight (for drain diagnostics).
         self.inflight = 0
@@ -106,6 +122,13 @@ class Cluster:
                     "a fault plan with node crashes loses in-flight jobs;"
                     " configure ClusterConfig.reliability so the frontend"
                     " re-dispatches them")
+            if ((fault_plan.has_partitions
+                 or fault_plan.has_controller_crashes)
+                    and self.ha is None):
+                raise ValueError(
+                    "partition and controller-crash faults act on the"
+                    " repro.ha link table and controller group; configure"
+                    " ClusterConfig.ha to arm them")
             from repro.faults.injector import FaultInjector
             self.fault_injector = FaultInjector(self, fault_plan)
             self.fault_injector.arm()
@@ -120,10 +143,21 @@ class Cluster:
         ``exclude`` skips one node (hedged re-dispatch wants a *different*
         machine) unless it is the only one standing. Returns None when
         every node is down.
+
+        With the HA layer armed, nodes the membership table marks
+        *suspected* (or dead, or unreachable over the dispatch link) are
+        skipped too — hedges and retries must not land on a machine the
+        detector is about to declare dead. If that filter would empty
+        the candidate set, the plain up-set is used: sending work to a
+        suspect node beats stalling the cluster on a false alarm.
         """
         up = [i for i, node in enumerate(self.nodes) if not node.down]
         if not up:
             return None
+        if self.ha is not None:
+            preferred = [i for i in up if self.ha.dispatchable(self.nodes[i])]
+            if preferred:
+                up = preferred
         if exclude is not None and len(up) > 1:
             up = [i for i in up if self.nodes[i] is not exclude] or up
         best = min(self.nodes[i].outstanding for i in up)
@@ -153,9 +187,9 @@ class Cluster:
         self.env.trace.workflow_begin(wf_uid, workflow.name, slo_s=slo_s)
         failed = False
         try:
-            for stage in workflow.stages:
+            for stage_index, stage in enumerate(workflow.stages):
                 waits = []
-                for fn_model in stage.functions:
+                for fn_index, fn_model in enumerate(stage.functions):
                     spec = fn_model.sample_invocation(
                         self.rng.stream(f"inputs/{fn_model.name}"),
                         dispersion=self.config.input_dispersion)
@@ -167,10 +201,12 @@ class Cluster:
                             fn_model, spec, deadline, workflow.name,
                             seniority_time_s=arrival_s).done)
                     else:
+                        idem_key = ((wf_uid, stage_index, fn_index)
+                                    if self.ha is not None else None)
                         waits.append(self.env.process(
                             self._invoke_reliably(
                                 fn_model, spec, deadline, workflow.name,
-                                arrival_s),
+                                arrival_s, idem_key),
                             name=f"invoke-{fn_model.name}"))
                 yield self.env.all_of(waits)
                 if policy is not None and any(p.value is None for p in waits):
@@ -204,7 +240,8 @@ class Cluster:
             yield self.env.timeout(ALL_DOWN_POLL_S)
 
     def _invoke_reliably(self, fn_model, spec, deadline_s: Optional[float],
-                         benchmark: str, arrival_s: float):
+                         benchmark: str, arrival_s: float,
+                         idem_key=None):
         """Shepherd one invocation to completion under the policy.
 
         Submits a pristine clone of ``spec`` per attempt (work units are
@@ -213,9 +250,21 @@ class Cluster:
         re-dispatch, and backs off exponentially (with deterministic
         jitter) between retries. Returns the winning job, or None once
         every retry is exhausted.
+
+        With the HA layer armed (``idem_key`` set), three things change:
+        a completion only wins while its node's uplink to the frontend
+        delivers (a partitioned result is invisible until the link
+        heals), the loop also wakes on membership/link transitions, and
+        an invocation stranded on a *suspected* node is re-dispatched —
+        exactly once per idempotency key, via the journal — to a
+        non-suspected node, with surviving duplicates fenced when a
+        winner emerges.
         """
         policy = self.config.reliability
         guard = self.guard
+        ha = self.ha
+        if ha is not None:
+            ha.register_dispatch(idem_key)
         attempt = 0
         lost_to_crash_here = 0
         while True:
@@ -243,6 +292,8 @@ class Cluster:
             job = node.submit(fn_model, spec.clone(), deadline_s, benchmark,
                               seniority_time_s=arrival_s)
             job.attempt = attempt
+            if ha is not None:
+                job.ha_node = node
             jobs = [job]
             timeout_ev = (self.env.timeout(policy.invocation_timeout_s)
                           if policy.invocation_timeout_s is not None else None)
@@ -252,17 +303,30 @@ class Cluster:
             hedges_fired = 0
             attempt_failed = False
             while not attempt_failed:
-                waits = [j.done for j in jobs]
+                if ha is None:
+                    waits = [j.done for j in jobs]
+                else:
+                    # An already-processed done event would make any_of
+                    # fire instantly forever (the invisible-result case);
+                    # wait on membership/link transitions instead.
+                    waits = [j.done for j in jobs if not j.done.processed]
+                    waits.append(ha.change_event())
                 if timeout_ev is not None:
                     waits.append(timeout_ev)
                 if hedge_ev is not None:
                     waits.append(hedge_ev)
                 yield self.env.any_of(waits)
-                winner = next((j for j in jobs if j.finished), None)
+                if ha is None:
+                    winner = next((j for j in jobs if j.finished), None)
+                else:
+                    winner = next((j for j in jobs if j.finished
+                                   and ha.result_visible(j)), None)
                 if winner is not None:
                     for other in jobs:
                         if other is not winner and not other.aborted:
                             other.abandoned = True
+                    if ha is not None:
+                        ha.record_completion(idem_key, jobs, winner)
                     lost_to_crash_here += sum(1 for j in jobs if j.aborted)
                     self.metrics.crash_redispatches += lost_to_crash_here
                     if guard is not None:
@@ -297,17 +361,30 @@ class Cluster:
                             fn_model, spec.clone(), deadline_s, benchmark,
                             seniority_time_s=arrival_s)
                         duplicate.attempt = attempt
+                        if ha is not None:
+                            duplicate.ha_node = other
                         jobs.append(duplicate)
                         self.metrics.record_hedge()
                         self.env.trace.instant("hedge", "frontend",
                                                function=fn_model.name,
                                                job=duplicate.job_id)
                     continue
+                if ha is not None:
+                    target = ha.redispatch_target(idem_key, jobs,
+                                                  exclude=node)
+                    if target is not None:
+                        duplicate = target.submit(
+                            fn_model, spec.clone(), deadline_s, benchmark,
+                            seniority_time_s=arrival_s)
+                        duplicate.attempt = attempt
+                        duplicate.ha_node = target
+                        jobs.append(duplicate)
+                        continue
                 # Some (not all) attempts crashed: drop them, keep waiting.
                 lost_to_crash_here += sum(1 for j in jobs if j.aborted)
                 jobs = [j for j in jobs if not j.aborted]
             if guard is not None:
-                guard.record_attempt_failure(fn_model.name)
+                guard.record_attempt_failure(fn_model.name, node=node)
             attempt += 1
             if attempt > policy.max_retries:
                 self.metrics.lost_invocations += 1

@@ -148,6 +148,36 @@ class MetricsCollector:
         self.checkpoint_restores = 0
         #: Stuck control loops kicked by the watchdog.
         self.watchdog_kicks = 0
+        # High-availability counters (repro.ha). All stay zero without an
+        # HAConfig.
+        #: Heartbeats dropped because the node was down or its uplink cut.
+        self.ha_heartbeats_lost = 0
+        #: Membership transitions alive -> suspected.
+        self.ha_suspicions = 0
+        #: Suspicions of nodes whose process was actually alive.
+        self.ha_false_suspicions = 0
+        #: Per-suspicion delay from the first missed heartbeat, seconds.
+        self.ha_suspicion_latencies_s: List[float] = []
+        #: Stranded invocations re-dispatched via the idempotency journal.
+        self.ha_redispatches = 0
+        #: Surviving duplicate copies fenced when a re-dispatched key won.
+        self.ha_duplicates_fenced = 0
+        #: Completions recorded for an already-completed key (must stay 0).
+        self.ha_duplicate_completions = 0
+        #: Stale-epoch control decisions rejected by consumers.
+        self.ha_fenced_decisions = 0
+        #: Control decisions frozen because no believed leader was
+        #: reachable from the consumer.
+        self.ha_frozen_decisions = 0
+        #: Leader elections after a lease expiry.
+        self.ha_failovers = 0
+        #: Per-failover delay from leader loss to the new lease, seconds.
+        self.ha_failover_times_s: List[float] = []
+        #: Successful leader lease renewals.
+        self.ha_lease_renewals = 0
+        #: Breaker charges skipped because the failing node was suspected
+        #: (the node's fault, not the function's).
+        self.breaker_node_blames = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -219,6 +249,27 @@ class MetricsCollector:
         if kind is not None:
             return self.failures.get(kind, 0)
         return sum(self.failures.values())
+
+    # ------------------------------------------------------------------
+    # High-availability rollups (repro.ha)
+    # ------------------------------------------------------------------
+    def ha_false_positive_rate(self) -> float:
+        """Fraction of suspicions whose node was actually alive."""
+        if self.ha_suspicions == 0:
+            return 0.0
+        return self.ha_false_suspicions / self.ha_suspicions
+
+    def ha_mean_suspicion_latency_s(self) -> float:
+        """Mean first-missed-heartbeat -> suspicion delay (0.0 if none)."""
+        if not self.ha_suspicion_latencies_s:
+            return 0.0
+        return float(np.mean(self.ha_suspicion_latencies_s))
+
+    def ha_mean_failover_s(self) -> float:
+        """Mean leader-loss -> new-lease delay (0.0 if none)."""
+        if not self.ha_failover_times_s:
+            return 0.0
+        return float(np.mean(self.ha_failover_times_s))
 
     # ------------------------------------------------------------------
     # End-to-end rollups (what the figures report)
