@@ -7,7 +7,11 @@ Usage::
     python -m repro fig13 --full --seed 7
     python -m repro all            # every experiment, quick mode
     python -m repro fig16 --trace out.json --epoch-metrics out.csv
-    python -m repro report out.json
+    python -m repro fig16 --trace out.json --ledger ledger.json --burnrate
+    python -m repro fig16 --audit audit.jsonl
+    python -m repro report out.json --format json
+    python -m repro explain out.json --audit audit.jsonl
+    python -m repro bench --quick --compare BENCH_old.json
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import json
 import sys
 import time
 from typing import List, Optional
@@ -87,10 +92,13 @@ def _report(argv: List[str]) -> int:
     parser.add_argument("trace", help="trace-event JSON file (--trace)")
     parser.add_argument("--top", type=int, default=10,
                         help="rows per ranking (default 10)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default text)")
     args = parser.parse_args(argv)
     from repro import obs
     try:
-        text = obs.report(args.trace, top_n=args.top)
+        text = obs.report(args.trace, top_n=args.top, fmt=args.format)
     except FileNotFoundError:
         print(f"no such trace file: {args.trace}", file=sys.stderr)
         return 2
@@ -102,17 +110,115 @@ def _report(argv: List[str]) -> int:
     return 0
 
 
+def _bench(argv: List[str]) -> int:
+    """The ``repro bench`` subcommand: benchmark telemetry."""
+    parser = argparse.ArgumentParser(
+        prog="ecofaas bench",
+        description="Run the pinned-seed benchmark panel and write"
+                    " BENCH_<date>.json: wall-time, peak RSS, simulated"
+                    " energy, p99 latency, and SLO-miss rate per"
+                    " experiment.")
+    parser.add_argument("--quick", action="store_true",
+                        help="short panel (CI smoke): shorter traces,"
+                             " fewer servers")
+    parser.add_argument("--out", metavar="PATH",
+                        help="output path (default BENCH_<date>.json)")
+    parser.add_argument("--compare", metavar="OLD",
+                        help="diff against a previous BENCH json and exit"
+                             " 1 on regressions")
+    args = parser.parse_args(argv)
+    from repro.obs import bench as bench_mod
+    document = bench_mod.run_bench(
+        quick=args.quick,
+        progress=lambda message: print(message, file=sys.stderr))
+    path = args.out or bench_mod.default_path(document)
+    bench_mod.write_bench(document, path)
+    print(f"[bench: {len(document['experiments'])} experiments -> {path}]")
+    if args.compare:
+        try:
+            with open(args.compare) as handle:
+                old = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {args.compare}: {error}", file=sys.stderr)
+            return 2
+        findings = bench_mod.compare(old, document)
+        if findings:
+            print(f"[bench: {len(findings)} regression finding(s)"
+                  f" vs {args.compare}]")
+            for finding in findings:
+                print(f"  - {finding}")
+            return 1
+        print(f"[bench: no regressions vs {args.compare}]")
+    return 0
+
+
+def _explain(argv: List[str]) -> int:
+    """The ``repro explain`` subcommand: why did a workflow miss?"""
+    parser = argparse.ArgumentParser(
+        prog="ecofaas explain",
+        description="Walk a recorded trace (and optional decision audit"
+                    " log) and print ranked causes for one missed-SLO"
+                    " workflow.")
+    parser.add_argument("trace", help="trace-event JSON file (--trace)")
+    parser.add_argument("workflow", nargs="?", type=int,
+                        help="workflow uid; omitted = the worst-missed"
+                             " SLO workflow in the trace")
+    parser.add_argument("--run", type=int, default=None,
+                        help="restrict to one run index in the trace")
+    parser.add_argument("--audit", metavar="PATH",
+                        help="decision audit log (JSONL from --audit)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="causes to print (default 10)")
+    args = parser.parse_args(argv)
+    from repro.obs.explain import (
+        explain,
+        format_explanation,
+        load_explain_data,
+        missed_workflows,
+    )
+    try:
+        data = load_explain_data(args.trace, audit_path=args.audit)
+    except FileNotFoundError as error:
+        print(f"no such file: {error.filename or error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as error:
+        print(f"not a trace-event JSON file: {args.trace} ({error})",
+              file=sys.stderr)
+        return 2
+    uid, run = args.workflow, args.run
+    if uid is None:
+        missed = missed_workflows(data, run=run)
+        if not missed:
+            print("no missed-SLO workflow in this trace;"
+                  " nothing to explain")
+            return 1
+        uid, run = missed[0].uid, missed[0].run
+    try:
+        result = explain(data, uid, run=run)
+    except KeyError as error:
+        print(f"workflow not found in trace: {error}", file=sys.stderr)
+        return 2
+    result["causes"] = result["causes"][:args.top]
+    print(format_explanation(result))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "report":
         return _report(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench(argv[1:])
+    if argv and argv[0] == "explain":
+        return _explain(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ecofaas",
         description="EcoFaaS reproduction: regenerate the paper's tables"
                     " and figures as text tables.")
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'list', 'all', or 'report'")
+        help="experiment id (see 'list'), 'list', 'all', 'report',"
+             " 'explain', or 'bench'")
     parser.add_argument(
         "--full", action="store_true",
         help="run at closer-to-paper scale (much slower)")
@@ -136,9 +242,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--epoch-s", type=float, default=2.0,
         help="epoch length for --epoch-metrics in simulated seconds"
              " (default 2.0, the EcoFaaS T_refresh)")
+    parser.add_argument(
+        "--ledger", metavar="PATH",
+        help="attribute every joule of cluster energy to run / block /"
+             " cold-start / idle / freq-switch / retry-waste / shed and"
+             " write the validated ledger to PATH (requires --trace)")
+    parser.add_argument(
+        "--audit", metavar="PATH",
+        help="record every control-plane decision (MILP split, pool"
+             " retune, shed, brownout, breaker trip, failover,"
+             " redispatch) as JSONL to PATH")
+    parser.add_argument(
+        "--burnrate", action="store_true",
+        help="arm per-benchmark SLO burn-rate monitors: latency"
+             " histograms plus fast/slow burn alert instants in the"
+             " trace (requires --trace)")
     args = parser.parse_args(argv)
     if args.epoch_metrics and not args.trace:
         parser.error("--epoch-metrics requires --trace")
+    if args.ledger and not args.trace:
+        parser.error("--ledger requires --trace")
+    if args.burnrate and not args.trace:
+        parser.error("--burnrate requires --trace")
 
     if args.experiment == "list":
         print("available experiments:")
@@ -152,9 +277,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     tracer = None
+    audit = None
     if args.trace:
         from repro import obs
-        tracer = obs.install(obs.Tracer())
+        tracer = obs.install(obs.Tracer(
+            ledger=obs.EnergyLedger() if args.ledger else None,
+            burnrate=obs.BurnRateMonitor() if args.burnrate else None))
+    if args.audit:
+        from repro import obs
+        audit = obs.install_audit(obs.AuditLog())
     try:
         if args.experiment == "all":
             # One failing experiment must not abort the whole sweep: run
@@ -187,6 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if tracer is not None:
             obs.uninstall()
+        if audit is not None:
+            obs.uninstall_audit()
 
     if tracer is not None:
         n_events = obs.write_chrome_trace(tracer, args.trace)
@@ -197,7 +330,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                                            epoch_s=args.epoch_s)
             print(f"[epoch metrics: {len(rows)} rows"
                   f" -> {args.epoch_metrics}]")
+        if args.ledger:
+            document = tracer.ledger.write(args.ledger)
+            conserved = all(run["conserved"] for run in document["runs"])
+            print(f"[ledger: {len(document['runs'])} runs"
+                  f" -> {args.ledger}; conservation"
+                  f" {'OK' if conserved else 'FAILED'}]")
         print(obs.run_summary(tracer))
+    if audit is not None:
+        n_records = audit.write(args.audit)
+        print(f"[audit: {n_records} records -> {args.audit}]")
     return status
 
 

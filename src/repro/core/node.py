@@ -384,6 +384,16 @@ class EcoFaaSNode(NodeSystem):
                     if weight > 0.01 * total}
         self._demand_ewma = dict(smoothed)
 
+        audit = self.env.audit
+
+        def pool_targets() -> Dict[str, int]:
+            # Keyed by the pools' trace names, so audit records join
+            # directly against queue-phase spans in `repro explain`.
+            sid = self.server.server_id
+            return {f"pool{level:.1f}@{sid}": count
+                    for level, count in sorted(self._targets.items())}
+
+        prev_targets = pool_targets() if audit is not None else None
         self._apply_demand(dict(smoothed))
         self.pool_count_samples.append((self.env.now, self.pool_count()))
         if self.env.trace.enabled:
@@ -396,6 +406,20 @@ class EcoFaaSNode(NodeSystem):
                         for level, weight in sorted(smoothed.items())})
             self.env.trace.counter(self.track, "pool_count",
                                    self.pool_count())
+        if audit is not None:
+            new_targets = pool_targets()
+            if new_targets != prev_targets:
+                audit.record(
+                    "pool_retune", self.track,
+                    inputs={"demand": {f"{level:.2f}": round(weight, 4)
+                                       for level, weight
+                                       in sorted(smoothed.items())},
+                            "targets": prev_targets},
+                    action={"targets": new_targets},
+                    alternatives=[{"targets": prev_targets,
+                                   "rejected": "window demand shifted"}],
+                    reason="elastic refresh resized the frequency pools"
+                           " to the smoothed window demand")
 
     def _apply_demand(self, demand: Dict[float, float]) -> None:
         # Cap the number of levels by folding the smallest demand into the

@@ -129,10 +129,15 @@ def run_cluster(system, trace: Trace,
     recorded as a new run scope named after the system.
     """
     env = Environment()
+    label = getattr(system, "name", type(system).__name__)
     tracer = obs.active_tracer()
     if tracer is not None:
-        tracer.begin_run(getattr(system, "name", type(system).__name__))
+        tracer.begin_run(label)
         tracer.bind(env)
+    audit = obs.active_audit()
+    if audit is not None:
+        audit.begin_run(label)
+        audit.bind(env)
     cluster = Cluster(env, system, config or ClusterConfig(),
                       fault_plan=fault_plan)
     if tracer is not None:
@@ -146,6 +151,10 @@ def run_cluster(system, trace: Trace,
                 yield env.timeout(sample_period_s)
         env.process(sampler(), name="freq-sampler")
     cluster.run_trace(trace)
+    if tracer is not None and tracer.ledger is not None:
+        # Closing the run classifies this run's raw entries and checks
+        # conservation against the hardware meters (raises on mismatch).
+        tracer.ledger.close_run(cluster)
     return cluster
 
 

@@ -103,3 +103,9 @@ class AdmissionController:
         key = (benchmark, reason)
         self.shed_counts[key] = self.shed_counts.get(key, 0) + 1
         return reason
+
+    def snapshot(self, benchmark: str, now: float) -> Dict[str, object]:
+        """Decision-state summary for audit records (read-only)."""
+        return {"brownout_level": self.level,
+                "tokens": round(self.bucket(benchmark).peek(now), 4),
+                "best_effort": self.is_best_effort(benchmark)}

@@ -79,6 +79,14 @@ class CircuitBreaker:
         self._probe_in_flight = False
         self._outcomes.clear()
 
+    def snapshot(self) -> Dict[str, object]:
+        """Decision-state summary for audit records (read-only)."""
+        failures = sum(1 for _, failed in self._outcomes if failed)
+        return {"state": self.state,
+                "window_attempts": len(self._outcomes),
+                "window_failures": failures,
+                "open_count": self.open_count}
+
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------

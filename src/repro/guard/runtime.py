@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.guard.admission import AdmissionController
-from repro.guard.breaker import BreakerBoard, CircuitBreaker, OPEN
+from repro.guard.breaker import BreakerBoard, CircuitBreaker, CLOSED, OPEN
 from repro.guard.checkpoint import CheckpointStore
 from repro.guard.config import GuardConfig
 from repro.guard.safemode import PredictionGuard
@@ -50,6 +50,10 @@ class GuardRuntime:
         self.checkpoints: Optional[CheckpointStore] = (
             CheckpointStore(config.checkpoint)
             if config.checkpoint is not None else None)
+        #: Last brownout level an audit record was written for; the
+        #: admission controller itself recomputes its level on every
+        #: decision, so change detection has to live out here.
+        self._audit_level = 0
 
     def arm(self) -> None:
         """Start the periodic guard processes (checkpointer + watchdog)."""
@@ -79,14 +83,37 @@ class GuardRuntime:
         """Admission decision for one arrival; False = shed (accounted)."""
         if self.admission is None:
             return True
-        reason = self.admission.admit(benchmark, self.env.now,
-                                      self.ewt_per_core_s())
+        ewt = self.ewt_per_core_s()
+        reason = self.admission.admit(benchmark, self.env.now, ewt)
+        audit = self.env.audit
+        if audit is not None and self.admission.level != self._audit_level:
+            audit.record(
+                "brownout_change", FRONTEND_TRACK,
+                inputs={"ewt_per_core_s": round(ewt, 6),
+                        "previous_level": self._audit_level},
+                action={"level": self.admission.level},
+                alternatives=[{"level": self._audit_level,
+                               "rejected": "EWT crossed a threshold"}],
+                reason="cluster EWT-per-core moved across the brownout"
+                       " thresholds")
+            self._audit_level = self.admission.level
         if reason is None:
             return True
         self.metrics.record_shed(benchmark, reason)
         self.env.trace.instant(
             "shed", FRONTEND_TRACK, benchmark=benchmark, reason=reason,
             brownout_level=self.admission.level)
+        if audit is not None:
+            audit.record(
+                "admission_shed", FRONTEND_TRACK,
+                inputs={"benchmark": benchmark,
+                        "ewt_per_core_s": round(ewt, 6),
+                        **self.admission.snapshot(benchmark, self.env.now)},
+                action={"shed": reason},
+                alternatives=[{"admit": True,
+                               "rejected": f"shed policy: {reason}"}],
+                reason="admission controller shed the arrival to protect"
+                       " SLO-bearing work")
         return False
 
     # ------------------------------------------------------------------
@@ -126,12 +153,26 @@ class GuardRuntime:
                                    function=function_name, node=node.track)
             return
         opens_before = breaker.open_count
+        audit = self.env.audit
+        snapshot = breaker.snapshot() if audit is not None else None
         breaker.record_failure(self.env.now)
         if breaker.open_count > opens_before:
             self.metrics.breaker_opens += 1
             self.env.trace.instant("breaker_open", FRONTEND_TRACK,
                                    function=function_name,
                                    opens=breaker.open_count)
+            if audit is not None:
+                audit.record(
+                    "breaker_trip", FRONTEND_TRACK,
+                    inputs={"function": function_name, **snapshot},
+                    action={"state": OPEN,
+                            "open_count": breaker.open_count},
+                    alternatives=[{"state": CLOSED,
+                                   "rejected": "windowed failure rate"
+                                               " above the trip"
+                                               " threshold"}],
+                    reason="attempt failures tripped the circuit breaker;"
+                           " further calls fail fast until the cooldown")
 
     def record_attempt_success(self, function_name: str,
                                met_deadline: bool) -> None:

@@ -213,6 +213,21 @@ class HARuntime:
                 "ha_failover", FRONTEND, leader=winner.rid, epoch=epoch,
                 failover_s=round(failover_s, 6))
             self.env.trace.counter(FRONTEND, "leader_epoch", epoch)
+            audit = self.env.audit
+            if audit is not None:
+                audit.record(
+                    "ha_failover", FRONTEND,
+                    inputs={"candidates": [r.rid for r in candidates],
+                            "old_leader": old.rid,
+                            "old_leader_down": old.down,
+                            "leader_lost_at_s": round(lost_at, 6)},
+                    action={"leader": winner.rid, "epoch": epoch,
+                            "failover_s": round(failover_s, 6)},
+                    alternatives=[{"leader": r.rid,
+                                   "rejected": "higher replica id"}
+                                  for r in candidates if r is not winner],
+                    reason="controller lease expired; lowest-id reachable"
+                           " replica elected under a fresh epoch")
             self._notify_change()
 
     def controller_crash(self, rid: int) -> Optional[ControllerReplica]:
@@ -319,6 +334,23 @@ class HARuntime:
         self.metrics.ha_redispatches += 1
         self.env.trace.instant("ha_redispatch", FRONTEND, key=str(key),
                                to=target.track)
+        audit = self.env.audit
+        if audit is not None:
+            stranded = sorted({
+                node.track for node in
+                (getattr(j, "ha_node", None) for j in live)
+                if node is not None and self.node_suspected(node)})
+            audit.record(
+                "ha_redispatch", FRONTEND,
+                inputs={"key": str(key), "live_copies": len(live),
+                        "stranded_on": stranded},
+                action={"to": target.track},
+                alternatives=[{"to": None,
+                               "rejected": "every live copy sits on a"
+                                           " suspected node"}],
+                reason="journal authorised one duplicate of the stranded"
+                       " invocation on a non-suspected node",
+                workflow_uid=key[0])
         return target
 
     def record_completion(self, key: Optional[IdempotencyKey],

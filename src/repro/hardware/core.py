@@ -65,6 +65,13 @@ class Core:
         #: Statistics.
         self.completed_runs = 0
         self.frequency_switches = 0
+        #: Attribution tags, maintained by the owning server/scheduler and
+        #: read only by the opt-in energy ledger (repro.obs.ledger):
+        #: the node track ("node<i>"), the owning pool's name, and the
+        #: blocked job a run-to-completion pool holds this core idle for.
+        self.track = ""
+        self.pool: Optional[str] = None
+        self.blocked_hold: Any = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -112,16 +119,29 @@ class Core:
     # ------------------------------------------------------------------
     def _accrue(self) -> None:
         """Close the current accounting segment at its mode's power."""
-        dt = self.env.now - self._mode_since
+        t0 = self._mode_since
+        dt = self.env.now - t0
         self._mode_since = self.env.now
         if dt <= 0:
             return
+        ledger = self.env.trace.ledger
         if self._mode == IDLE:
-            self.meter.add("core_idle", self.power.core_idle_power() * dt)
+            idle_j = self.power.core_idle_power() * dt
+            self.meter.add("core_idle", idle_j)
+            if ledger is not None:
+                if self.blocked_hold is not None:
+                    ledger.record_core(self, t0, self.env.now, idle_j,
+                                       "blocked_hold", self.blocked_hold)
+                else:
+                    ledger.record_core(self, t0, self.env.now, idle_j,
+                                       "idle")
             return
         active_j = self.power.core_active_power(self._frequency) * dt
         if self._mode == TRANSITION:
             self.meter.add("dvfs_overhead", active_j)
+            if ledger is not None:
+                ledger.record_core(self, t0, self.env.now, active_j,
+                                   "freq_switch", self._sink)
             return
         self.meter.add("core_active", active_j)
         dram_j = self.power.dram_active_power(1) * dt
@@ -130,6 +150,14 @@ class Core:
             self.meter.attribute(self._consumer, active_j + dram_j)
         if self._sink is not None and hasattr(self._sink, "record_run"):
             self._sink.record_run(dt, active_j + dram_j)
+        if ledger is not None:
+            # Setup segments (container boot) are still pending their
+            # first advance(), which is what _segment_index == -1 means.
+            raw = ("active_setup"
+                   if getattr(self._sink, "_segment_index", 0) == -1
+                   else "active_run")
+            ledger.record_core(self, t0, self.env.now,
+                               active_j + dram_j, raw, self._sink)
 
     def _set_mode(self, mode: str) -> None:
         self._accrue()
@@ -238,9 +266,13 @@ class Core:
             if cost_s > 0:
                 # An idle core's transition: charge the overhead energy but
                 # do not model occupancy (nothing was waiting on this core).
-                self.meter.add(
-                    "dvfs_overhead",
-                    self.power.core_active_power(freq_ghz) * cost_s)
+                switch_j = self.power.core_active_power(freq_ghz) * cost_s
+                self.meter.add("dvfs_overhead", switch_j)
+                ledger = self.env.trace.ledger
+                if ledger is not None:
+                    ledger.record_core(self, self.env.now,
+                                       self.env.now + cost_s, switch_j,
+                                       "freq_switch")
             return
         # Busy path: close the active segment, consume the work done so
         # far at the old speed, stall, then continue at the new speed.

@@ -70,6 +70,14 @@ class EnergyMeter:
                 self._by_consumer.get(consumer, 0.0) + joules)
 
 
+def combine(meters: Sequence["EnergyMeter"]) -> "EnergyMeter":
+    """A fresh meter holding the sum of ``meters`` (cluster-wide rollup)."""
+    total = EnergyMeter()
+    for meter in meters:
+        total.merge(meter)
+    return total
+
+
 @dataclass
 class FrequencyTimeline:
     """Time series of the average core frequency in a server (Fig. 14)."""

@@ -46,6 +46,8 @@ class Server:
                  frequency_ghz=freq, ipc_factor=ipc_factor)
             for i in range(self.n_cores)
         ]
+        for core in self.cores:
+            core.track = f"node{server_id}"
         self.timeline = FrequencyTimeline()
         self._created_at = env.now
         self._finalized_until = env.now
@@ -89,7 +91,8 @@ class Server:
         """
         for core in self.cores:
             core.finalize()
-        elapsed = self.env.now - self._finalized_until
+        t0 = self._finalized_until
+        elapsed = self.env.now - t0
         if elapsed > 0:
             background_j = self.power.background_power() * elapsed
             # Split the always-on power between its two physical sources so
@@ -99,6 +102,10 @@ class Server:
             self.meter.add("uncore", background_j * uncore_share)
             self.meter.add("dram", background_j * (1.0 - uncore_share))
             self._finalized_until = self.env.now
+            ledger = self.env.trace.ledger
+            if ledger is not None:
+                ledger.record_static(f"node{self.server_id}", t0,
+                                     self.env.now, background_j)
 
     @property
     def total_energy_j(self) -> float:

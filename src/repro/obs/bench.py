@@ -1,0 +1,189 @@
+"""``repro bench``: benchmark telemetry and regression detection.
+
+Runs a fixed, seed-pinned panel of representative experiments (baseline
+and EcoFaaS under low load, chaos, guarded overload, and an HA
+partition), measuring for each
+
+* **wall-time** and **peak RSS** — the cost of running the reproduction
+  itself (the only nondeterministic numbers in the file), and
+* **simulated energy, p99 workflow latency, SLO-miss rate, completed
+  workflows** — seed-deterministic results that double as a coarse
+  correctness fingerprint.
+
+The panel is written to ``BENCH_<date>.json``; ``--compare <old.json>``
+diffs two such files and flags (a) wall-time regressions beyond a
+tolerance and (b) *any* drift in the simulated metrics of a same-named
+experiment, since those are bit-deterministic given the pinned seeds —
+a drift means behavior changed, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import BaselineSystem
+from repro.core import EcoFaaSSystem
+from repro.core.config import EcoFaaSConfig
+from repro.experiments import chaos as chaos_experiment
+from repro.experiments import overload as overload_experiment
+from repro.experiments import partition as partition_experiment
+from repro.experiments.common import make_load_trace, run_cluster
+from repro.faults import FaultPlan
+from repro.platform.cluster import ClusterConfig
+
+#: Simulated (seed-deterministic) metric keys compared exactly.
+SIM_METRICS = ("energy_j", "p99_latency_s", "slo_miss_rate", "completed")
+
+#: Wall-time regression thresholds for ``--compare``: both the relative
+#: and the absolute bar must be exceeded (filters scheduler noise on
+#: sub-second experiments).
+WALL_REL_TOLERANCE = 0.30
+WALL_ABS_FLOOR_S = 0.5
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return None  # non-POSIX platform: omit the column
+
+
+def _measure(cluster) -> Dict[str, Any]:
+    summary = dict(cluster.metrics.bench_summary())
+    summary["energy_j"] = round(cluster.total_energy_j, 6)
+    return summary
+
+
+def _scenarios(quick: bool) -> List[Tuple[str, Callable[[], Any]]]:
+    """The benchmark panel: (name, runner) pairs, seeds pinned."""
+    duration = 8.0 if quick else 30.0
+    n_servers = 2 if quick else 3
+    cores = 20
+
+    def low_load(system_factory):
+        def runner():
+            trace = make_load_trace("low", n_servers, duration, seed=3)
+            return run_cluster(system_factory(), trace,
+                               ClusterConfig(n_servers=n_servers, seed=3))
+        return runner
+
+    def chaos():
+        trace = make_load_trace("medium", n_servers, duration, seed=4)
+        plan = FaultPlan.calibrated(
+            duration_s=duration, n_servers=n_servers,
+            functions=chaos_experiment.all_function_names(), seed=5)
+        config = ClusterConfig(
+            n_servers=n_servers, seed=4, drain_s=10.0,
+            reliability=chaos_experiment.default_policy())
+        return run_cluster(EcoFaaSSystem(EcoFaaSConfig()), trace, config,
+                           fault_plan=plan)
+
+    def overload():
+        trace = make_load_trace("high", n_servers, duration, seed=6,
+                                cores_per_server=cores)
+        config = ClusterConfig(
+            n_servers=n_servers, seed=6,
+            guard=overload_experiment.guard_config(n_servers, cores))
+        return run_cluster(EcoFaaSSystem(EcoFaaSConfig()), trace, config)
+
+    def partition():
+        return partition_experiment.run_one(
+            seed=0, with_faults=True,
+            duration_s=max(duration, 60.0) if not quick else 60.0,
+            n_servers=3)
+
+    return [
+        ("baseline_low", low_load(BaselineSystem)),
+        ("ecofaas_low", low_load(lambda: EcoFaaSSystem(EcoFaaSConfig()))),
+        ("ecofaas_chaos", chaos),
+        ("ecofaas_overload", overload),
+        ("ecofaas_partition", partition),
+    ]
+
+
+def run_bench(quick: bool = True,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> Dict[str, Any]:
+    """Run the panel and return the BENCH document."""
+    experiments: Dict[str, Any] = {}
+    for name, runner in _scenarios(quick):
+        if progress is not None:
+            progress(f"bench: running {name} ...")
+        rss_before = _peak_rss_kb()
+        t0 = time.perf_counter()
+        cluster = runner()
+        wall = time.perf_counter() - t0
+        entry = _measure(cluster)
+        entry["wall_s"] = round(wall, 3)
+        rss = _peak_rss_kb()
+        entry["peak_rss_kb"] = rss
+        entry["rss_grew_kb"] = (rss - rss_before
+                                if rss is not None and rss_before is not None
+                                else None)
+        experiments[name] = entry
+    return {
+        "source": "repro bench (EcoFaaS reproduction)",
+        "date": time.strftime("%Y-%m-%d"),
+        "quick": quick,
+        "experiments": experiments,
+    }
+
+
+def default_path(document: Dict[str, Any]) -> str:
+    return f"BENCH_{document['date']}.json"
+
+
+def write_bench(document: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def compare(old: Dict[str, Any], new: Dict[str, Any],
+            wall_rel_tolerance: float = WALL_REL_TOLERANCE
+            ) -> List[str]:
+    """Regression findings between two BENCH documents (empty = clean).
+
+    Wall-time is noisy, so it only flags past both a relative and an
+    absolute threshold. The simulated metrics are seed-deterministic, so
+    any drift at all is flagged — unless the two files were produced at
+    different panel sizes (``quick`` mismatch), where the panels aren't
+    comparable and only experiment presence is checked.
+    """
+    findings: List[str] = []
+    comparable = old.get("quick") == new.get("quick")
+    if not comparable:
+        findings.append(
+            f"panel size mismatch: old quick={old.get('quick')} vs"
+            f" new quick={new.get('quick')} — simulated metrics not"
+            f" compared")
+    old_exp = old.get("experiments", {})
+    new_exp = new.get("experiments", {})
+    for name in sorted(old_exp):
+        if name not in new_exp:
+            findings.append(f"{name}: experiment missing from new run")
+            continue
+        before, after = old_exp[name], new_exp[name]
+        wall_before = before.get("wall_s") or 0.0
+        wall_after = after.get("wall_s") or 0.0
+        if (wall_after > wall_before * (1.0 + wall_rel_tolerance)
+                and wall_after - wall_before > WALL_ABS_FLOOR_S):
+            findings.append(
+                f"{name}: wall-time regression"
+                f" {wall_before:.2f}s -> {wall_after:.2f}s"
+                f" (+{100.0 * (wall_after / max(wall_before, 1e-9) - 1):.0f}%)")
+        if not comparable:
+            continue
+        for key in SIM_METRICS:
+            a, b = before.get(key), after.get(key)
+            if a is None and b is None:
+                continue
+            if a is None or b is None or (
+                    abs(a - b) > 1e-9 * max(abs(a), abs(b), 1.0)):
+                findings.append(
+                    f"{name}: simulated metric {key} drifted"
+                    f" {a} -> {b} (same-seed run; behavior changed)")
+    return findings

@@ -1,0 +1,320 @@
+"""``repro explain``: ranked root causes for a missed-SLO workflow.
+
+Joins the three observability artifacts —
+
+* the exported Chrome trace (workflow/invocation/phase spans, instants,
+  and the workflow→job links stored in ``otherData.workflowLinks``),
+* optionally a decision audit log (JSONL), and
+
+— to answer "why did this workflow miss its SLO?" with a ranked list of
+concrete causes: seconds queued per pool (with the retune decision that
+shrank it, when the audit log has one), cold-start boots, block-phase
+holds, energy burned by aborted/abandoned retry attempts, breaker
+fast-fails, and HA redispatches.
+
+Everything operates on the exported files, not live tracer objects, so
+``repro explain`` works on any trace produced earlier (and in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.audit import load_jsonl
+
+
+@dataclass
+class _Span:
+    run: int
+    cat: str            # "workflow" | "invocation" | "phase"
+    name: str
+    uid: int
+    t0: float
+    t1: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class Cause:
+    """One ranked contributor to a miss. ``score`` orders the list."""
+
+    score: float
+    kind: str
+    text: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"score": round(self.score, 6), "kind": self.kind,
+                "text": self.text}
+
+
+class ExplainData:
+    """Spans/instants/links/audit loaded from the exported artifacts."""
+
+    def __init__(self) -> None:
+        self.run_labels: Dict[int, str] = {}
+        self.spans: List[_Span] = []
+        self.instants: List[Dict[str, Any]] = []
+        #: run → workflow uid → [job uids].
+        self.links: Dict[int, Dict[int, List[int]]] = defaultdict(
+            lambda: defaultdict(list))
+        self.audit: List[Dict[str, Any]] = []
+
+
+def _run_of_pid(pid_names: Dict[int, str], pid: int) -> Tuple[int, str]:
+    name = pid_names.get(pid, "")
+    if "[" in name and "]" in name:
+        label = name.split("[", 1)[0].strip()
+        index = name.split("[", 1)[1].split("]", 1)[0]
+        if index.isdigit():
+            return int(index), label
+    return 0, name or "run"
+
+
+def _track_of_pid(pid_names: Dict[int, str], pid: int) -> str:
+    name = pid_names.get(pid, "")
+    return name.rsplit(" ", 1)[-1] if name else ""
+
+
+def load_explain_data(trace_path: str,
+                      audit_path: Optional[str] = None) -> ExplainData:
+    """Parse the exported trace (and audit JSONL) back into memory."""
+    with open(trace_path) as handle:
+        document = json.load(handle)
+    events = (document if isinstance(document, list)
+              else document.get("traceEvents", []))
+    other = {} if isinstance(document, list) else document.get(
+        "otherData", {})
+    pid_names = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e.get("name") == "process_name"}
+    data = ExplainData()
+    for run, wf_uid, job_uid in other.get("workflowLinks", []):
+        data.links[run][wf_uid].append(job_uid)
+    open_spans: Dict[Tuple[int, str, int, str], List[_Span]] = \
+        defaultdict(list)
+    for event in events:
+        phase = event.get("ph")
+        if phase == "i":
+            run, label = _run_of_pid(pid_names, event["pid"])
+            data.run_labels.setdefault(run, label)
+            data.instants.append({
+                "run": run, "name": event["name"],
+                "track": _track_of_pid(pid_names, event["pid"]),
+                "t": event["ts"] / 1e6, "args": event.get("args", {})})
+            continue
+        if phase not in ("b", "e"):
+            continue
+        run, label = _run_of_pid(pid_names, event["pid"])
+        data.run_labels.setdefault(run, label)
+        key = (run, event.get("cat", ""), event["id"], event["name"])
+        if phase == "b":
+            span = _Span(run, event.get("cat", ""), event["name"],
+                         event["id"], event["ts"] / 1e6, event["ts"] / 1e6,
+                         dict(event.get("args", {})))
+            open_spans[key].append(span)
+            data.spans.append(span)
+        else:
+            stack = open_spans.get(key)
+            if stack:
+                span = stack.pop(0)  # FIFO: b/e pairs are emitted adjacent
+                span.t1 = event["ts"] / 1e6
+                span.args.update(event.get("args", {}))
+    if audit_path:
+        data.audit = load_jsonl(audit_path)
+    return data
+
+
+def missed_workflows(data: ExplainData, run: Optional[int] = None
+                     ) -> List[_Span]:
+    """Workflow spans that failed or missed their SLO, worst first.
+
+    "Worst" is latency minus SLO budget (largest overshoot), so the
+    default pick is the workflow with the most seconds to explain.
+    """
+    candidates = []
+    for span in data.spans:
+        if span.cat != "workflow" or (run is not None and span.run != run):
+            continue
+        status = span.args.get("status")
+        if status == "failed":
+            candidates.append(span)
+        elif status == "completed" and not span.args.get("met_slo", True):
+            candidates.append(span)
+    def overshoot(span: _Span) -> float:
+        slo = float(span.args.get("slo_s", 0.0))
+        return span.duration_s - slo
+    return sorted(candidates, key=lambda s: (-overshoot(s), s.uid))
+
+
+def _audit_for(data: ExplainData, run: int, kind: str) -> List[dict]:
+    return [r for r in data.audit
+            if r.get("run") == run and r.get("kind") == kind]
+
+
+def _shrink_context(data: ExplainData, run: int, pool: str,
+                    before_t: float) -> str:
+    """The most recent audit retune that shrank ``pool`` before a time."""
+    best = None
+    for rec in _audit_for(data, run, "pool_retune"):
+        if rec["t"] > before_t:
+            continue
+        prev = rec.get("inputs", {}).get("targets", {})
+        new = rec.get("action", {}).get("targets", {})
+        if pool in new and pool in prev and new[pool] < prev[pool]:
+            if best is None or rec["t"] > best["t"]:
+                best = rec
+    if best is None:
+        return ""
+    prev = best["inputs"]["targets"][pool]
+    new = best["action"]["targets"][pool]
+    return (f" (retune at t={best['t']:.2f}s shrank it"
+            f" {prev}→{new} cores)")
+
+
+def explain(data: ExplainData, workflow_uid: int,
+            run: Optional[int] = None) -> Dict[str, Any]:
+    """Build the ranked cause list for one workflow."""
+    wf = next((s for s in data.spans
+               if s.cat == "workflow" and s.uid == workflow_uid
+               and (run is None or s.run == run)), None)
+    if wf is None:
+        raise KeyError(
+            f"no workflow span with uid {workflow_uid}"
+            + (f" in run {run}" if run is not None else ""))
+    run = wf.run
+    job_uids = set(data.links.get(run, {}).get(workflow_uid, []))
+    jobs = [s for s in data.spans
+            if s.run == run and s.cat == "invocation" and s.uid in job_uids]
+    phases = [s for s in data.spans
+              if s.run == run and s.cat == "phase" and s.uid in job_uids
+              and wf.t0 - 1e-9 <= s.t0 <= wf.t1 + 1e-9]
+    causes: List[Cause] = []
+
+    # Queue time, grouped by the pool the job waited in.
+    queue_by_pool: Dict[str, float] = defaultdict(float)
+    for span in phases:
+        if span.name == "queue" and span.duration_s > 1e-9:
+            queue_by_pool[span.args.get("pool") or "?"] += span.duration_s
+    for pool, seconds in queue_by_pool.items():
+        context = _shrink_context(data, run, pool, wf.t1) \
+            if pool != "?" else ""
+        where = f"in {pool}" if pool != "?" else "at dispatch"
+        causes.append(Cause(seconds, "queueing",
+                            f"queued {seconds:.2f}s {where}{context}"))
+
+    # Cold starts and block-phase holds.
+    cold_s = sum(s.duration_s for s in phases if s.name == "cold_start")
+    if cold_s > 1e-9:
+        n = sum(1 for s in phases if s.name == "cold_start")
+        causes.append(Cause(
+            cold_s, "cold_start",
+            f"cold start: {cold_s:.2f}s booting"
+            f" {n} container{'s' if n != 1 else ''}"))
+    block_s = sum(s.duration_s for s in phases if s.name == "block")
+    if block_s > 1e-9:
+        causes.append(Cause(
+            block_s, "block",
+            f"blocked {block_s:.2f}s on external calls"))
+
+    # Wasted attempts: aborted/abandoned jobs of this workflow.
+    wasted = [s for s in jobs
+              if s.args.get("status") == "aborted"
+              or s.args.get("abandoned")]
+    if wasted:
+        joules = sum(float(s.args.get("energy_j", 0.0)) for s in wasted)
+        retry_s = sum(s.duration_s for s in wasted)
+        causes.append(Cause(
+            max(retry_s, 0.1 * joules), "retry_waste",
+            f"{len(wasted)} attempt{'s' if len(wasted) != 1 else ''}"
+            f" aborted/abandoned, burning {joules:.1f} J over"
+            f" {retry_s:.2f}s"))
+
+    benchmarks = {wf.name}
+    functions = {s.name for s in jobs}
+    in_window = [i for i in data.instants
+                 if i["run"] == run
+                 and wf.t0 - 1e-9 <= i["t"] <= wf.t1 + 1e-9]
+
+    # Breaker fast-fails against this workflow's functions.
+    fast_fails = [i for i in in_window
+                  if i["name"] == "breaker_fast_fail"
+                  and i["args"].get("function") in functions]
+    if fast_fails:
+        causes.append(Cause(
+            0.5 * len(fast_fails), "breaker",
+            f"circuit breaker open: {len(fast_fails)} fast-fail"
+            f"{'s' if len(fast_fails) != 1 else ''} for"
+            f" {sorted({i['args'].get('function') for i in fast_fails})}"))
+
+    # Retries/timeouts/shed attributed by benchmark within the window.
+    for name, label in (("retry", "retried"),
+                        ("invocation_timeout", "timed out")):
+        hits = [i for i in in_window if i["name"] == name
+                and i["args"].get("benchmark") in benchmarks]
+        if hits:
+            causes.append(Cause(
+                0.4 * len(hits), "reliability",
+                f"{len(hits)} invocation{'s' if len(hits) != 1 else ''}"
+                f" {label} during this workflow"))
+
+    # HA redispatches keyed by this workflow's uid.
+    prefix = f"({workflow_uid},"
+    redispatches = [i for i in data.instants
+                    if i["run"] == run and i["name"] == "ha_redispatch"
+                    and str(i["args"].get("key", "")).startswith(prefix)]
+    for inst in redispatches:
+        causes.append(Cause(
+            1.0, "ha",
+            f"work redispatched to {inst['args'].get('to', '?')} at"
+            f" t={inst['t']:.2f}s after its node was suspected down"))
+
+    # Audit records carrying this workflow's uid (redispatch decisions,
+    # shed verdicts) add their reasons verbatim.
+    for rec in data.audit:
+        if rec.get("run") == run and rec.get("workflow_uid") == workflow_uid:
+            reason = rec.get("reason") or rec.get("kind", "decision")
+            causes.append(Cause(
+                0.3, "audit",
+                f"{rec.get('kind')}: {reason} (t={rec.get('t', 0):.2f}s)"))
+
+    causes.sort(key=lambda c: (-c.score, c.kind, c.text))
+    slo_s = float(wf.args.get("slo_s", 0.0))
+    return {
+        "run": run,
+        "run_label": data.run_labels.get(run, "run"),
+        "workflow_uid": workflow_uid,
+        "benchmark": wf.name,
+        "status": wf.args.get("status", "?"),
+        "latency_s": wf.duration_s,
+        "slo_s": slo_s,
+        "missed_by_s": wf.duration_s - slo_s if slo_s else None,
+        "jobs": sorted(job_uids),
+        "causes": [c.to_dict() for c in causes],
+    }
+
+
+def format_explanation(result: Dict[str, Any]) -> str:
+    lines = []
+    slo = result["slo_s"]
+    verdict = result["status"]
+    if verdict == "completed":
+        verdict = ("missed SLO" if slo and result["latency_s"] > slo
+                   else "met SLO")
+    lines.append(
+        f"workflow {result['workflow_uid']} ({result['benchmark']})"
+        f" in run {result['run']} ({result['run_label']}):"
+        f" latency {result['latency_s']:.2f}s vs SLO {slo:.2f}s"
+        f" — {verdict}")
+    if not result["causes"]:
+        lines.append("  no contributing causes found in the trace")
+    else:
+        lines.append("ranked causes:")
+        for i, cause in enumerate(result["causes"], 1):
+            lines.append(f"  {i}. {cause['text']}")
+    return "\n".join(lines) + "\n"

@@ -22,21 +22,9 @@ import json
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.registry import (EPOCH_INSTANT_COLUMNS, LEDGER_COMPONENTS,
+                                LEDGER_EPOCH_COLUMNS)
 from repro.obs.tracer import Tracer
-
-#: Instant names counted into the epoch metrics' reliability columns.
-_EPOCH_INSTANTS = {
-    "retry": "retries",
-    "hedge": "hedges",
-    "invocation_timeout": "timeouts",
-    "preemption": "preemptions",
-    "freq_transition": "freq_transitions",
-    "ha_suspect": "ha_suspicions",
-    "ha_redispatch": "ha_redispatches",
-    "ha_failover": "ha_failovers",
-    "ha_fenced": "ha_fenced",
-    "ha_frozen": "ha_frozen",
-}
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +153,11 @@ def write_chrome_trace(tracer: Tracer, path: str) -> int:
             "source": "repro.obs (EcoFaaS reproduction)",
             "runs": list(tracer.run_labels),
             "clock": "simulation seconds, exported as microseconds",
+            # Workflow uid → job uid dispatch links: joins workflow spans
+            # (cat "workflow") to invocation spans (cat "invocation") so
+            # `repro explain` can walk one workflow's jobs.
+            "workflowLinks": [list(link)
+                              for link in getattr(tracer, "wf_links", [])],
         },
     }
     with open(path, "w") as handle:
@@ -192,10 +185,21 @@ def epoch_rows(tracer: Tracer, epoch_s: float = 2.0) -> List[Dict[str, Any]]:
     row lines up with one pool-retune decision window. Spans are binned
     by their *end* time (an invocation contributes to the epoch in which
     it completed, as the paper's rollups do).
+
+    A run rarely ends on an epoch boundary; the final row covers the
+    leftover ``[k*epoch_s, end)`` stretch and is marked ``is_partial``
+    with its true ``t1_s``, so sums over the rows (energy in particular)
+    cover the whole run rather than silently dropping the tail.
+
+    When the tracer carries an energy ledger, each row additionally
+    gets ``energy_<component>_j`` columns (see
+    :data:`repro.obs.registry.LEDGER_COMPONENTS`) with the classified
+    joules pro-rated over the epoch.
     """
     if epoch_s <= 0:
         raise ValueError(f"epoch length must be positive: {epoch_s}")
     tracer.finish_run()
+    ledger = getattr(tracer, "ledger", None)
     rows: List[Dict[str, Any]] = []
     for run, run_label in enumerate(tracer.run_labels):
         end = tracer.run_end_s[run]
@@ -203,6 +207,7 @@ def epoch_rows(tracer: Tracer, epoch_s: float = 2.0) -> List[Dict[str, Any]]:
         base = [{
             "run": run, "system": run_label, "epoch": e,
             "t0_s": e * epoch_s, "t1_s": (e + 1) * epoch_s,
+            "is_partial": False,
             "invocations": 0, "energy_j": 0.0, "cold_starts": 0,
             "deadline_misses": 0, "workflows": 0, "slo_violations": 0,
             "p50_latency_s": float("nan"), "p99_latency_s": float("nan"),
@@ -210,8 +215,12 @@ def epoch_rows(tracer: Tracer, epoch_s: float = 2.0) -> List[Dict[str, Any]]:
             "preemptions": 0, "freq_transitions": 0,
             "ha_suspicions": 0, "ha_redispatches": 0, "ha_failovers": 0,
             "ha_fenced": 0, "ha_frozen": 0,
+            "slo_fast_burns": 0, "slo_slow_burns": 0,
             "mean_power_w": float("nan"), "mean_outstanding": float("nan"),
         } for e in range(n_epochs)]
+        if 0.0 < end < n_epochs * epoch_s - 1e-9:
+            base[-1]["t1_s"] = end
+            base[-1]["is_partial"] = True
 
         def bin_of(t: float) -> int:
             return max(0, min(n_epochs - 1, int(t / epoch_s)))
@@ -245,11 +254,18 @@ def epoch_rows(tracer: Tracer, epoch_s: float = 2.0) -> List[Dict[str, Any]]:
             if inst.run != run:
                 continue
             row = base[bin_of(inst.t)]
-            column = _EPOCH_INSTANTS.get(inst.name)
+            column = EPOCH_INSTANT_COLUMNS.get(inst.name)
             if column is not None:
                 row[column] += 1
             elif inst.name.startswith("fault_"):
                 row["faults"] += 1
+
+        if ledger is not None and ledger.reports:
+            per_epoch = ledger.epoch_component_j(run, n_epochs, epoch_s)
+            for e in range(n_epochs):
+                for component, column in zip(LEDGER_COMPONENTS,
+                                             LEDGER_EPOCH_COLUMNS):
+                    base[e][column] = per_epoch[e][component]
 
         power: List[List[float]] = [[] for _ in range(n_epochs)]
         occupancy: List[List[float]] = [[] for _ in range(n_epochs)]

@@ -122,6 +122,33 @@ def format_report(stats: TraceStats, top_n: int = 10) -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
-def report(path: str, top_n: int = 10) -> str:
-    """Load ``path`` and render the full text report."""
-    return format_report(load_stats(path), top_n)
+def stats_to_dict(stats: TraceStats, top_n: int = 10) -> dict:
+    """The report as a JSON-serializable document (``--format json``)."""
+    runs = []
+    for run in sorted(stats.runs):
+        completed = sum(count for (r, _), count in stats.completed.items()
+                        if r == run)
+        runs.append({
+            "run": run,
+            "label": stats.runs[run],
+            "completed_invocations": completed,
+            "top_energy_j": [
+                {"function": fn, "energy_j": value}
+                for fn, value in stats.top(stats.energy_j, run, top_n)],
+            "top_queueing_s": [
+                {"function": fn, "queue_s": value}
+                for fn, value in stats.top(stats.queue_s, run, top_n)],
+            "top_deadline_misses": [
+                {"function": fn, "misses": int(value)}
+                for fn, value in stats.top(stats.misses, run, top_n)],
+        })
+    return {"source": "repro.obs.report", "runs": runs}
+
+
+def report(path: str, top_n: int = 10, fmt: str = "text") -> str:
+    """Load ``path`` and render the report as text or JSON."""
+    stats = load_stats(path)
+    if fmt == "json":
+        return json.dumps(stats_to_dict(stats, top_n), indent=1,
+                          sort_keys=True) + "\n"
+    return format_report(stats, top_n)

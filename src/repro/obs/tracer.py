@@ -81,12 +81,21 @@ class NullTracer:
     """
 
     enabled = False
+    #: Optional energy-attribution ledger (``repro.obs.ledger``). None on
+    #: the null tracer — and on real tracers built without one — so the
+    #: hardware accrual points pay a single attribute check.
+    ledger = None
+    #: Optional SLO burn-rate monitor (``repro.obs.burnrate``).
+    burnrate = None
 
     def bind(self, env) -> None:
         pass
 
     def begin_run(self, label: str) -> None:
         pass
+
+    def link(self, workflow_uid, job_uid) -> None:
+        """Record that workflow ``workflow_uid`` dispatched job ``job_uid``."""
 
     def invocation_begin(self, uid, name, **args) -> None:
         pass
@@ -127,17 +136,27 @@ class Tracer(NullTracer):
 
     enabled = True
 
-    def __init__(self, counter_period_s: float = 0.5):
+    def __init__(self, counter_period_s: float = 0.5, ledger=None,
+                 burnrate=None):
         if counter_period_s <= 0:
             raise ValueError(
                 f"counter period must be positive: {counter_period_s}")
         #: Period of the read-only counter sampler armed by traced runs.
         self.counter_period_s = counter_period_s
+        #: Attached energy ledger / burn-rate monitor (both opt-in; both
+        #: only *read* simulation state, so attaching them keeps runs
+        #: bit-identical).
+        self.ledger = ledger
+        self.burnrate = burnrate
+        if ledger is not None:
+            ledger.attach(self)
         #: Labels of the runs seen so far, in order.
         self.run_labels: List[str] = []
         self.spans: List[SpanRecord] = []
         self.instants: List[InstantRecord] = []
         self.counters: List[CounterRecord] = []
+        #: Workflow → job dispatch links as (run, workflow_uid, job_uid).
+        self.wf_links: List[tuple] = []
         self._env = None
         self._run = -1
         #: Latest timestamp seen per run (used to close dangling spans).
@@ -167,6 +186,10 @@ class Tracer(NullTracer):
         self._run += 1
         self.run_labels.append(label)
         self.run_end_s.append(0.0)
+        if self.ledger is not None:
+            self.ledger.begin_run(self._run, label)
+        if self.burnrate is not None:
+            self.burnrate.begin_run(self._run, label)
 
     def finish_run(self) -> None:
         """Close spans the run left open (jobs still in flight at drain).
@@ -250,6 +273,17 @@ class Tracer(NullTracer):
         span.t1 = t
         span.args.update(args)
         span.args["status"] = status
+        if self.burnrate is not None:
+            met = status == "completed" and bool(
+                span.args.get("met_slo", True))
+            self.burnrate.observe(self, span.name, t, met,
+                                  latency_s=span.duration_s)
+
+    def link(self, workflow_uid: int, job_uid: int) -> None:
+        """Cross-link a dispatched job to its workflow (uid ↔ uid)."""
+        if self._run < 0:
+            self._stamp()
+        self.wf_links.append((self._run, workflow_uid, job_uid))
 
     # ------------------------------------------------------------------
     # Instants and counters

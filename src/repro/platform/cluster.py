@@ -197,16 +197,18 @@ class Cluster:
                                 if deadlines is not None else None)
                     if policy is None:
                         node = self.pick_node()
-                        waits.append(node.submit(
+                        job = node.submit(
                             fn_model, spec, deadline, workflow.name,
-                            seniority_time_s=arrival_s).done)
+                            seniority_time_s=arrival_s)
+                        self.env.trace.link(wf_uid, job.job_id)
+                        waits.append(job.done)
                     else:
                         idem_key = ((wf_uid, stage_index, fn_index)
                                     if self.ha is not None else None)
                         waits.append(self.env.process(
                             self._invoke_reliably(
                                 fn_model, spec, deadline, workflow.name,
-                                arrival_s, idem_key),
+                                arrival_s, idem_key, wf_uid),
                             name=f"invoke-{fn_model.name}"))
                 yield self.env.all_of(waits)
                 if policy is not None and any(p.value is None for p in waits):
@@ -241,7 +243,7 @@ class Cluster:
 
     def _invoke_reliably(self, fn_model, spec, deadline_s: Optional[float],
                          benchmark: str, arrival_s: float,
-                         idem_key=None):
+                         idem_key=None, wf_uid: Optional[int] = None):
         """Shepherd one invocation to completion under the policy.
 
         Submits a pristine clone of ``spec`` per attempt (work units are
@@ -292,6 +294,8 @@ class Cluster:
             job = node.submit(fn_model, spec.clone(), deadline_s, benchmark,
                               seniority_time_s=arrival_s)
             job.attempt = attempt
+            if wf_uid is not None:
+                self.env.trace.link(wf_uid, job.job_id)
             if ha is not None:
                 job.ha_node = node
             jobs = [job]
@@ -361,6 +365,8 @@ class Cluster:
                             fn_model, spec.clone(), deadline_s, benchmark,
                             seniority_time_s=arrival_s)
                         duplicate.attempt = attempt
+                        if wf_uid is not None:
+                            self.env.trace.link(wf_uid, duplicate.job_id)
                         if ha is not None:
                             duplicate.ha_node = other
                         jobs.append(duplicate)
@@ -377,6 +383,8 @@ class Cluster:
                             fn_model, spec.clone(), deadline_s, benchmark,
                             seniority_time_s=arrival_s)
                         duplicate.attempt = attempt
+                        if wf_uid is not None:
+                            self.env.trace.link(wf_uid, duplicate.job_id)
                         duplicate.ha_node = target
                         jobs.append(duplicate)
                         continue

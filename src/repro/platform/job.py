@@ -223,11 +223,14 @@ class Job:
             "cold_start" if self._segment_index == -1 else "run",
             freq_ghz=freq_ghz)
 
-    def note_enqueue(self) -> None:
-        """Open a queueing interval: the job waits for a core."""
+    def note_enqueue(self, pool: Optional[str] = None) -> None:
+        """Open a queueing interval: the job waits for a core in ``pool``."""
         if self._queue_entered is None:
             self._queue_entered = self.env.now
-            self.env.trace.phase(self.job_id, "queue")
+            if pool is None:
+                self.env.trace.phase(self.job_id, "queue")
+            else:
+                self.env.trace.phase(self.job_id, "queue", pool=pool)
         self._running_at = None
 
     def note_block(self, seconds: float) -> None:

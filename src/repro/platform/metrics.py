@@ -312,6 +312,19 @@ class MetricsCollector:
         """Benchmarks seen, alphabetical."""
         return sorted({r.benchmark for r in self.workflow_records})
 
+    def bench_summary(self) -> Dict[str, object]:
+        """The seed-deterministic metrics ``repro bench`` fingerprints.
+
+        The p99 is None (rather than NaN) when nothing completed, so the
+        summary serializes to strict JSON.
+        """
+        p99 = self.latency_p99()
+        return {
+            "p99_latency_s": (round(p99, 6) if p99 == p99 else None),
+            "slo_miss_rate": round(self.slo_violation_rate(), 6),
+            "completed": self.completed_workflows(),
+        }
+
     # ------------------------------------------------------------------
     # Function-level rollups
     # ------------------------------------------------------------------

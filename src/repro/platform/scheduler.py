@@ -170,6 +170,7 @@ class CorePoolScheduler:
             raise ValueError(f"core {core.core_id} already in pool {self.name}")
         self._pending_removal.discard(core.core_id)
         self._cores.append(core)
+        core.pool = self.name
         if set_frequency and abs(core.frequency - self.frequency_ghz) > 1e-12:
             if self.env.trace.enabled:
                 self.env.trace.instant(
@@ -192,6 +193,7 @@ class CorePoolScheduler:
             return None
         core = self._available.pop()
         self._cores.remove(core)
+        core.pool = None
         self.env.trace.counter(self.name, "pool_size", len(self._cores))
         return core
 
@@ -249,7 +251,7 @@ class CorePoolScheduler:
             self.env.trace.counter(self.name, "ewt_s", self.ewt_seconds)
             self.env.trace.counter(self.name, "queue_len",
                                    len(self._ready) + 1)
-        job.note_enqueue()
+        job.note_enqueue(pool=self.name)
         heapq.heappush(self._ready, (job.seniority, job))
         self._dispatch()
 
@@ -293,6 +295,8 @@ class CorePoolScheduler:
         self._t_run_at_dispatch.clear()
         self._pending_removal.clear()
         self._available = list(self._cores)
+        for core in self._cores:
+            core.blocked_hold = None
         for job in lost:
             job.abort()
         return lost
@@ -336,7 +340,7 @@ class CorePoolScheduler:
                 winner=candidate.job_id, winner_fn=candidate.function_name)
         core.preempt()
         self._consume_ewt(victim)
-        victim.note_enqueue()
+        victim.note_enqueue(pool=self.name)
         heapq.heappush(self._ready, (victim.seniority, victim))
         self.stats.preemptions += 1
         return core
@@ -396,6 +400,7 @@ class CorePoolScheduler:
                     lambda ev, job=job: self._unblock_requeue(job))
             else:
                 # Run-to-completion: the core idles but stays held.
+                core.blocked_hold = job
                 wake = self.env.timeout(block_s)
                 wake.callbacks.append(
                     lambda ev, job=job, core=core:
@@ -418,7 +423,7 @@ class CorePoolScheduler:
             return
         del self._blocked_jobs[job.job_id]
         job.skip_block()
-        job.note_enqueue()
+        job.note_enqueue(pool=self.name)
         heapq.heappush(self._ready, (job.seniority, job))
         self._dispatch()
 
@@ -430,8 +435,11 @@ class CorePoolScheduler:
         job.note_dispatch(core.frequency)
         self._running[core.core_id] = job
         self._t_run_at_dispatch[job.job_id] = job.t_run
+        # start() accrues the held-idle segment first, so the hold tag must
+        # still be visible to the ledger there; clear it afterwards.
         core.start(job.current_work(), consumer=job.benchmark,
                    on_complete=self._on_core_done, sink=job)
+        core.blocked_hold = None
 
     def _finish(self, core: Core, job: Job) -> None:
         self._ewt_s -= self._ewt_amounts.pop(job.job_id, 0.0)
@@ -448,6 +456,7 @@ class CorePoolScheduler:
         if core.core_id in self._pending_removal:
             self._pending_removal.discard(core.core_id)
             self._cores.remove(core)
+            core.pool = None
             self.env.trace.counter(self.name, "pool_size", len(self._cores))
             if self.on_core_released is not None:
                 self.on_core_released(core)

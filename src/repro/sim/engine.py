@@ -43,6 +43,10 @@ class Environment:
         #: instrumentation point (membership-aware dispatch, lease
         #: fencing, re-dispatch) on the pre-HA code path.
         self.ha = None
+        #: Decision audit hook (repro.obs.audit). None means control-plane
+        #: decision points skip building audit records entirely;
+        #: ``AuditLog.bind(env)`` installs a recording log here.
+        self.audit = None
 
     @property
     def now(self) -> float:

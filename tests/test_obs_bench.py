@@ -1,0 +1,128 @@
+"""``repro bench``: benchmark telemetry document and regression diffs."""
+
+import copy
+import json
+
+import pytest
+
+import repro.obs.bench as bench
+from repro.core import EcoFaaSSystem
+from repro.core.config import EcoFaaSConfig
+from repro.experiments.common import make_load_trace, run_cluster
+from repro.platform.cluster import ClusterConfig
+
+
+def tiny_panel(quick):
+    """A one-experiment panel so tests stay fast."""
+    def runner():
+        trace = make_load_trace("low", 1, 3.0, seed=3)
+        return run_cluster(EcoFaaSSystem(EcoFaaSConfig()), trace,
+                           ClusterConfig(n_servers=1, seed=3))
+    return [("tiny_low", runner)]
+
+
+@pytest.fixture()
+def tiny_bench(monkeypatch):
+    monkeypatch.setattr(bench, "_scenarios", tiny_panel)
+
+
+def test_bench_document_shape(tiny_bench, tmp_path):
+    document = bench.run_bench(quick=True)
+    assert document["quick"] is True
+    assert document["date"]
+    entry = document["experiments"]["tiny_low"]
+    assert entry["wall_s"] >= 0.0
+    assert entry["energy_j"] > 0.0
+    assert entry["completed"] > 0
+    assert 0.0 <= entry["slo_miss_rate"] <= 1.0
+    assert entry["p99_latency_s"] is None or entry["p99_latency_s"] > 0
+    # peak RSS is optional (non-POSIX), but on Linux it is present.
+    assert entry["peak_rss_kb"] is None or entry["peak_rss_kb"] > 0
+
+    path = tmp_path / bench.default_path(document)
+    assert path.name.startswith("BENCH_")
+    bench.write_bench(document, str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(document))
+
+
+def test_bench_sim_metrics_are_seed_deterministic(tiny_bench):
+    first = bench.run_bench(quick=True)["experiments"]["tiny_low"]
+    second = bench.run_bench(quick=True)["experiments"]["tiny_low"]
+    for key in bench.SIM_METRICS:
+        assert first[key] == second[key], key
+
+
+def test_compare_clean_when_identical(tiny_bench):
+    document = bench.run_bench(quick=True)
+    assert bench.compare(document, copy.deepcopy(document)) == []
+
+
+def test_compare_flags_injected_sim_regression(tiny_bench):
+    old = bench.run_bench(quick=True)
+    new = copy.deepcopy(old)
+    new["experiments"]["tiny_low"]["energy_j"] *= 1.01
+    findings = bench.compare(old, new)
+    assert len(findings) == 1
+    assert "energy_j drifted" in findings[0]
+    assert "behavior changed" in findings[0]
+
+
+def test_compare_flags_wall_time_regression():
+    old = {"quick": True, "experiments": {"x": {"wall_s": 2.0}}}
+    new = {"quick": True, "experiments": {"x": {"wall_s": 3.5}}}
+    findings = bench.compare(old, new)
+    assert any("wall-time regression" in f for f in findings)
+    # Below the absolute floor, relative jumps are scheduler noise.
+    old_small = {"quick": True, "experiments": {"x": {"wall_s": 0.1}}}
+    new_small = {"quick": True, "experiments": {"x": {"wall_s": 0.3}}}
+    assert bench.compare(old_small, new_small) == []
+
+
+def test_compare_flags_missing_experiment():
+    old = {"quick": True, "experiments": {"x": {"wall_s": 1.0},
+                                          "y": {"wall_s": 1.0}}}
+    new = {"quick": True, "experiments": {"x": {"wall_s": 1.0}}}
+    findings = bench.compare(old, new)
+    assert findings == ["y: experiment missing from new run"]
+
+
+def test_compare_skips_metrics_across_panel_sizes():
+    old = {"quick": False, "experiments": {"x": {"wall_s": 1.0,
+                                                 "energy_j": 10.0}}}
+    new = {"quick": True, "experiments": {"x": {"wall_s": 1.0,
+                                                "energy_j": 99.0}}}
+    findings = bench.compare(old, new)
+    assert len(findings) == 1
+    assert "panel size mismatch" in findings[0]
+
+
+def test_cli_bench_compare_exits_nonzero_on_regression(
+        tiny_bench, tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--out", str(out)]) == 0
+    assert out.exists()
+
+    # Inject a regression into the stored baseline, then compare.
+    old = json.loads(out.read_text())
+    old["experiments"]["tiny_low"]["energy_j"] *= 0.5
+    baseline = tmp_path / "old.json"
+    baseline.write_text(json.dumps(old))
+    assert main(["bench", "--quick", "--out", str(out),
+                 "--compare", str(baseline)]) == 1
+    assert "regression finding" in capsys.readouterr().out
+
+    # A same-seed rerun against an honest baseline is clean. (The new
+    # document is written to --out before --compare is read, so
+    # comparing a run against its own output must find nothing.)
+    assert main(["bench", "--quick", "--out", str(out),
+                 "--compare", str(out)]) == 0
+
+
+def test_full_panel_names_are_stable():
+    names = [name for name, _ in bench._scenarios(quick=True)]
+    assert names == ["baseline_low", "ecofaas_low", "ecofaas_chaos",
+                     "ecofaas_overload", "ecofaas_partition"]

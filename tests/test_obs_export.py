@@ -172,6 +172,35 @@ class TestEpochRows:
         with pytest.raises(ValueError):
             obs.epoch_rows(synthetic_tracer(), epoch_s=0.0)
 
+    def test_final_partial_epoch_is_emitted_and_flagged(self):
+        # The synthetic run ends at t=1.5: the second epoch covers only
+        # [1.0, 1.5) and must be emitted with its true end time rather
+        # than silently padded to the epoch boundary.
+        rows = obs.epoch_rows(synthetic_tracer(), epoch_s=1.0)
+        assert rows[0]["is_partial"] is False
+        assert rows[0]["t1_s"] == 1.0
+        assert rows[1]["is_partial"] is True
+        assert rows[1]["t1_s"] == pytest.approx(1.5)
+        # The partial row still carries the tail's data (satellite fix:
+        # it used to be dropped when the run ended off-boundary).
+        assert rows[1]["invocations"] == 1
+
+    def test_final_epoch_on_boundary_is_not_flagged(self):
+        rows = obs.epoch_rows(synthetic_tracer(), epoch_s=1.5)
+        assert [r["is_partial"] for r in rows] == [False]
+        assert rows[0]["t1_s"] == pytest.approx(1.5)
+
+    def test_instant_columns_come_from_shared_registry(self):
+        from repro.obs.registry import EPOCH_INSTANT_COLUMNS
+
+        rows = obs.epoch_rows(synthetic_tracer(), epoch_s=1.0)
+        for column in EPOCH_INSTANT_COLUMNS.values():
+            assert column in rows[0], column
+        # The registry is the single source of truth: export has no
+        # private copy of the instant → column mapping left.
+        import repro.obs.export as export_module
+        assert not hasattr(export_module, "_EPOCH_INSTANTS")
+
     def test_csv_and_json_writers(self, tmp_path):
         tracer = synthetic_tracer()
         csv_path = tmp_path / "epochs.csv"
@@ -206,3 +235,21 @@ class TestSummaryAndReport:
         assert "run 0 (Synthetic): 1 completed invocations" in text
         assert "App.fn" in text
         assert "3.0J" in text
+
+    def test_report_json_format(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        obs.write_chrome_trace(synthetic_tracer(), path)
+        document = json.loads(obs.report(path, fmt="json"))
+        run = document["runs"][0]
+        assert run["label"] == "Synthetic"
+        assert run["completed_invocations"] == 1
+        assert run["top_energy_j"][0] == {"function": "App.fn",
+                                          "energy_j": 3.0}
+
+    def test_cli_report_json_format(self, tmp_path, capsys):
+        from repro.cli import main
+        path = str(tmp_path / "trace.json")
+        obs.write_chrome_trace(synthetic_tracer(), path)
+        assert main(["report", path, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["completed_invocations"] == 1
