@@ -50,15 +50,26 @@ def _chart(key: str, result) -> None:
 
 
 def _run_one(key: str, quick: bool, seed: int, chart: bool = False,
-             ha: bool = False) -> float:
+             ha: bool = False, tenancy: bool = False,
+             power_cap: Optional[float] = None) -> float:
     module = importlib.import_module(EXPERIMENTS[key])
+    parameters = inspect.signature(module.run).parameters
     kwargs = {}
     if ha:
-        if "ha" in inspect.signature(module.run).parameters:
+        if "ha" in parameters:
             kwargs["ha"] = True
         else:
             print(f"[{key} does not support --ha; running without it]",
                   file=sys.stderr)
+    for flag, name, value in (("--tenancy", "tenancy", tenancy or None),
+                              ("--power-cap", "power_cap", power_cap)):
+        if value is None:
+            continue
+        if name in parameters:
+            kwargs[name] = value
+        else:
+            print(f"[{key} does not support {flag};"
+                  f" running without it]", file=sys.stderr)
     start = time.perf_counter()
     result = module.run(quick=quick, seed=seed, **kwargs)
     elapsed = time.perf_counter() - start
@@ -126,6 +137,12 @@ def _bench(argv: List[str]) -> int:
     parser.add_argument("--compare", metavar="OLD",
                         help="diff against a previous BENCH json and exit"
                              " 1 on regressions")
+    parser.add_argument("--wall-tolerance", type=float, default=None,
+                        metavar="REL",
+                        help="relative wall-time slack for --compare"
+                             " (e.g. 3.0 = allow 4x slower; default from"
+                             " the bench module — CI machines vary, the"
+                             " simulated metrics do not)")
     args = parser.parse_args(argv)
     from repro.obs import bench as bench_mod
     document = bench_mod.run_bench(
@@ -141,7 +158,11 @@ def _bench(argv: List[str]) -> int:
         except (OSError, ValueError) as error:
             print(f"cannot read {args.compare}: {error}", file=sys.stderr)
             return 2
-        findings = bench_mod.compare(old, document)
+        if args.wall_tolerance is not None:
+            findings = bench_mod.compare(
+                old, document, wall_rel_tolerance=args.wall_tolerance)
+        else:
+            findings = bench_mod.compare(old, document)
         if findings:
             print(f"[bench: {len(findings)} regression finding(s)"
                   f" vs {args.compare}]")
@@ -149,6 +170,86 @@ def _bench(argv: List[str]) -> int:
                 print(f"  - {finding}")
             return 1
         print(f"[bench: no regressions vs {args.compare}]")
+    return 0
+
+
+def _bill(argv: List[str]) -> int:
+    """The ``repro bill`` subcommand: price a ledger's joules by tenant."""
+    parser = argparse.ArgumentParser(
+        prog="ecofaas bill",
+        description="Price an energy ledger (JSON from --ledger) into a"
+                    " per-tenant bill: joules priced per component"
+                    " (run/cold_start/retry_waste/... at different $/MJ),"
+                    " unattributed overhead spread pro-rata.")
+    parser.add_argument("ledger", help="energy-ledger JSON file (--ledger)")
+    parser.add_argument("--tenant", action="append", default=[],
+                        metavar="NAME=BENCH1,BENCH2",
+                        help="map benchmarks to a tenant (repeatable);"
+                             " unmapped benchmarks bill as themselves")
+    parser.add_argument("--run", type=int, default=None,
+                        help="bill one run index (default: every run)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default text)")
+    args = parser.parse_args(argv)
+    owners = {}
+    for spec in args.tenant:
+        name, _, benchmarks = spec.partition("=")
+        if not name or not benchmarks:
+            print(f"bad --tenant {spec!r}; expected NAME=BENCH1,BENCH2",
+                  file=sys.stderr)
+            return 2
+        for benchmark in benchmarks.split(","):
+            benchmark = benchmark.strip()
+            if benchmark in owners and owners[benchmark] != name:
+                print(f"benchmark {benchmark} mapped to both"
+                      f" {owners[benchmark]} and {name}", file=sys.stderr)
+                return 2
+            owners[benchmark] = name
+    try:
+        with open(args.ledger) as handle:
+            document = json.load(handle)
+        runs = document["runs"]
+    except FileNotFoundError:
+        print(f"no such ledger file: {args.ledger}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"not an energy-ledger JSON file: {args.ledger} ({error})",
+              file=sys.stderr)
+        return 2
+    if args.run is not None:
+        runs = [run for run in runs if run.get("run") == args.run]
+        if not runs:
+            print(f"no run {args.run} in {args.ledger}", file=sys.stderr)
+            return 2
+    from repro.tenancy import UNATTRIBUTED, bill_from_breakdown, format_bill
+
+    def tenant_of(benchmark: str) -> str:
+        return owners.get(benchmark, benchmark)
+
+    bills = []
+    for run in runs:
+        breakdown = run.get("by_benchmark_component")
+        if breakdown is None:
+            # Older ledger file: fall back to the flat benchmark rollup,
+            # billed entirely at the default component rate.
+            breakdown = {bench: {"run": joules} for bench, joules
+                         in run.get("by_benchmark", {}).items()}
+            breakdown[UNATTRIBUTED] = {
+                "static": run.get("ledger_j", 0.0)
+                - sum(j for row in breakdown.values()
+                      for j in row.values())}
+        bill = bill_from_breakdown(breakdown, tenant_of)
+        bills.append({"run": run.get("run"), "label": run.get("label"),
+                      "bill": bill})
+    if args.format == "json":
+        print(json.dumps({"source": "repro.cli bill", "runs": bills},
+                         indent=1, sort_keys=True))
+        return 0
+    for entry in bills:
+        print(f"-- run {entry['run']} ({entry['label']}) --")
+        print(format_bill(entry["bill"]), end="")
+        print()
     return 0
 
 
@@ -211,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench(argv[1:])
     if argv and argv[0] == "explain":
         return _explain(argv[1:])
+    if argv and argv[0] == "bill":
+        return _bill(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ecofaas",
         description="EcoFaaS reproduction: regenerate the paper's tables"
@@ -218,7 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'list', 'all', 'report',"
-             " 'explain', or 'bench'")
+             " 'explain', 'bill', or 'bench'")
     parser.add_argument(
         "--full", action="store_true",
         help="run at closer-to-paper scale (much slower)")
@@ -230,6 +333,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--ha", action="store_true",
         help="arm the repro.ha high-availability layer in experiments"
              " that support it (partition, chaos)")
+    parser.add_argument(
+        "--tenancy", action="store_true",
+        help="arm the repro.tenancy energy-multi-tenancy layer (tenant"
+             " budgets + billing) in experiments that support it")
+    parser.add_argument(
+        "--power-cap", type=float, default=None, metavar="WATTS",
+        help="arm the cluster power-cap governor at WATTS in experiments"
+             " that support it (implies tenant metering)")
     parser.add_argument(
         "--trace", metavar="PATH",
         help="record an invocation-lifecycle trace to PATH"
@@ -296,7 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 try:
                     elapsed = _run_one(key, quick=not args.full,
                                        seed=args.seed, chart=args.chart,
-                                       ha=args.ha)
+                                       ha=args.ha, tenancy=args.tenancy,
+                                       power_cap=args.power_cap)
                     outcomes.append((key, True, f"{elapsed:.1f}s"))
                 except Exception as error:  # noqa: BLE001 - sweep must go on
                     outcomes.append(
@@ -309,7 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             try:
                 _run_one(args.experiment, quick=not args.full,
-                         seed=args.seed, chart=args.chart, ha=args.ha)
+                         seed=args.seed, chart=args.chart, ha=args.ha,
+                         tenancy=args.tenancy, power_cap=args.power_cap)
                 status = 0
             except Exception as error:  # noqa: BLE001 - exit code, not trace
                 print(f"[{args.experiment} FAILED:"

@@ -114,6 +114,11 @@ class EnergyAwareDispatcher:
         """Register with the pool, accounting demand where the job was
         actually placed (the node controller sizes pools from placement,
         then shifts levels using the boost / wanted-lower signals)."""
+        tenancy = self.node.env.tenancy
+        if tenancy is not None:
+            # Power-cap ceiling (repro.tenancy): demand accounting and
+            # EWT must reflect the speed the job will actually get.
+            job.chosen_freq_ghz = tenancy.clamp_freq(job.chosen_freq_ghz)
         self.node.note_demand(job.chosen_freq_ghz,
                               job.registered_run_seconds or 0.0)
         pool.submit(job)

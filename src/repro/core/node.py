@@ -105,9 +105,27 @@ class EcoFaaSNode(NodeSystem):
     def raise_pool_frequency(self, pool: CorePoolScheduler,
                              freq_ghz: float) -> None:
         """Boost a whole pool (dispatcher escalation strategy 2/3)."""
+        tenancy = self.env.tenancy
+        if tenancy is not None:
+            freq_ghz = tenancy.clamp_freq(freq_ghz)
         if freq_ghz > pool.frequency_ghz:
             pool.set_frequency(freq_ghz,
                                cost_s=self.config.kernel_switch_cost_s)
+
+    def apply_frequency_ceiling(self, ceiling_ghz) -> None:
+        """Power-cap hook: retune every pool above the ceiling down to it.
+
+        The kernel/MSR path the node controller already owns does the
+        switch; busy cores stall for the usual transition cost. Lifting
+        the cap (``None``) does nothing here — pools climb back through
+        demand-driven refreshes and boosts.
+        """
+        if ceiling_ghz is None:
+            return
+        for pool in self._pools + self._retiring:
+            if pool.frequency_ghz > ceiling_ghz + 1e-12:
+                pool.set_frequency(ceiling_ghz,
+                                   cost_s=self.config.kernel_switch_cost_s)
 
     # ------------------------------------------------------------------
     # NodeSystem interface
@@ -422,6 +440,20 @@ class EcoFaaSNode(NodeSystem):
                            " to the smoothed window demand")
 
     def _apply_demand(self, demand: Dict[float, float]) -> None:
+        tenancy = self.env.tenancy
+        if tenancy is not None:
+            # Power cap (repro.tenancy): demand above the frequency
+            # ceiling folds into the ceiling level (no pool may target a
+            # capped-out frequency), and pool sizing only staffs the
+            # usable core fraction — the rest sit idle, which is the
+            # governor's pool-shrinking actuator.
+            ceiling = tenancy.freq_ceiling_ghz()
+            if ceiling is not None:
+                folded: Dict[float, float] = {}
+                for level, weight in demand.items():
+                    capped = min(level, ceiling)
+                    folded[capped] = folded.get(capped, 0.0) + weight
+                demand = folded
         # Cap the number of levels by folding the smallest demand into the
         # next higher level (running faster is always deadline-safe).
         levels = sorted(demand)
@@ -433,6 +465,8 @@ class EcoFaaSNode(NodeSystem):
             levels.remove(smallest)
 
         n_cores = self.server.n_cores
+        if tenancy is not None:
+            n_cores = tenancy.capped_cores(n_cores)
         # Square-root staffing: allocate each level its offered load plus
         # sqrt-headroom (normalised to the server size). Pure proportional
         # sizing equalises utilisation, which leaves every pool's queue

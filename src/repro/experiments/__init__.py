@@ -48,4 +48,5 @@ EXPERIMENTS = {
     "chaos": "repro.experiments.chaos",
     "overload": "repro.experiments.overload",
     "partition": "repro.experiments.partition",
+    "tenancy": "repro.experiments.tenancy",
 }

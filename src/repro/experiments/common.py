@@ -155,6 +155,9 @@ def run_cluster(system, trace: Trace,
         # Closing the run classifies this run's raw entries and checks
         # conservation against the hardware meters (raises on mismatch).
         tracer.ledger.close_run(cluster)
+        if cluster.tenancy is not None:
+            # Price the closed run into a per-tenant bill (repro.tenancy).
+            cluster.tenancy.settle(tracer.ledger)
     return cluster
 
 

@@ -71,7 +71,8 @@ def guard_config(n_servers: int, cores_per_server: int) -> GuardConfig:
         best_effort=best_effort_benchmarks()))
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, tenancy: bool = False,
+        power_cap=None) -> ExperimentResult:
     result = ExperimentResult(
         "Overload",
         "Goodput and tail latency past saturation, guards on vs off")
@@ -80,6 +81,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     cores = 20
     best_effort = set(best_effort_benchmarks())
     guard = guard_config(n_servers, cores)
+    tenancy_config = None
+    if tenancy or power_cap is not None:
+        # Opt-in (--tenancy / --power-cap WATTS): tenant energy budgets
+        # and, with a cap, the power-cap governor ride on the same sweep.
+        from repro.experiments.tenancy import make_tenancy
+        tenancy_config = make_tenancy(n_servers, cap_w=power_cap)
 
     saturation_rate = rate_for_utilization(all_benchmarks(), 1.0,
                                            total_cores=n_servers * cores)
@@ -92,7 +99,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for guards_on in (False, True):
             config = ClusterConfig(
                 n_servers=n_servers, cores_per_server=cores, seed=seed,
-                drain_s=10.0, guard=guard if guards_on else None)
+                drain_s=10.0, guard=guard if guards_on else None,
+                tenancy=tenancy_config)
             cluster = run_cluster(
                 EcoFaaSSystem(EcoFaaSConfig()), trace, config)
             metrics = cluster.metrics
@@ -115,6 +123,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 p99_slo_s=round(percentile(slo_latencies, 99.0), 3),
                 stranded=cluster.inflight,
                 energy_j=round(cluster.total_energy_j, 1),
+                **({"throttles": metrics.tenant_throttles,
+                    "cap_steps": metrics.power_cap_steps}
+                   if tenancy_config is not None else {}),
             )
 
     result.note("goodput: SLO-bearing workflows completed within their SLO")

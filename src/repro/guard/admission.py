@@ -79,17 +79,21 @@ class AdmissionController:
     def is_best_effort(self, benchmark: str) -> bool:
         return benchmark in self.config.best_effort
 
-    def admit(self, benchmark: str, now: float,
-              ewt_per_core_s: float) -> Optional[str]:
+    def admit(self, benchmark: str, now: float, ewt_per_core_s: float,
+              force_best_effort: bool = False) -> Optional[str]:
         """Admit one workflow arrival, or return the shed reason.
 
         Best-effort work is shed first: it is bucket-limited at every
         brownout level and dropped outright at level >= 1. SLO-bearing
         work is only rate-limited at level 2 — so below saturation (EWT
         under the thresholds) no SLO-bearing workflow is ever shed.
+
+        ``force_best_effort`` demotes this one arrival into the
+        best-effort class regardless of configuration — the tenancy
+        layer's "over-budget tenants shed first" wiring.
         """
         self.level = self.brownout_level(ewt_per_core_s)
-        if self.is_best_effort(benchmark):
+        if force_best_effort or self.is_best_effort(benchmark):
             if self.level >= 1:
                 return self._shed(benchmark, SHED_BROWNOUT)
             if not self.bucket(benchmark).take(now):

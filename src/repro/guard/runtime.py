@@ -84,7 +84,11 @@ class GuardRuntime:
         if self.admission is None:
             return True
         ewt = self.ewt_per_core_s()
-        reason = self.admission.admit(benchmark, self.env.now, ewt)
+        tenancy = getattr(self.env, "tenancy", None)
+        demoted = (tenancy is not None
+                   and tenancy.demote_to_best_effort(benchmark))
+        reason = self.admission.admit(benchmark, self.env.now, ewt,
+                                      force_best_effort=demoted)
         audit = self.env.audit
         if audit is not None and self.admission.level != self._audit_level:
             audit.record(

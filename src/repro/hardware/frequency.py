@@ -98,6 +98,17 @@ class FrequencyScale:
         """All levels >= ``freq`` in ascending order."""
         return tuple(level for level in self.levels if level >= freq - 1e-9)
 
+    def step_down(self, freq: float, steps: int = 1) -> float:
+        """The level ``steps`` below ``freq``, clamped at the minimum.
+
+        The power-cap governor's ladder helper: tightening one actuation
+        step lowers the cluster frequency ceiling by one level.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0: {steps}")
+        i = max(0, self.index(freq) - steps)
+        return self.levels[i]
+
     @classmethod
     def from_granularity(cls, step_mhz: int, lo_mhz: int = 1200,
                          hi_mhz: int = 3000) -> "FrequencyScale":

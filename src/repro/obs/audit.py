@@ -34,6 +34,8 @@ KINDS = (
     "breaker_trip",    # guard: a function's circuit breaker opened
     "ha_failover",     # ha: controller leadership changed
     "ha_redispatch",   # ha: in-flight work resubmitted elsewhere
+    "tenant_throttle", # tenancy: over-budget tenant shed or throttled
+    "power_cap_step",  # tenancy: governor moved the actuation ladder
 )
 
 

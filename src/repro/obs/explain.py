@@ -263,6 +263,39 @@ def explain(data: ExplainData, workflow_uid: int,
                 f"{len(hits)} invocation{'s' if len(hits) != 1 else ''}"
                 f" {label} during this workflow"))
 
+    # Tenant budget enforcement against this workflow's benchmark.
+    throttles = [i for i in in_window
+                 if i["name"] == "tenant_throttle"
+                 and i["args"].get("benchmark") in benchmarks]
+    if throttles:
+        tenant = throttles[0]["args"].get("tenant", "?")
+        budget = throttles[0]["args"].get("budget_j")
+        budget_text = (f" (budget {budget:.0f} J)"
+                       if isinstance(budget, (int, float)) else "")
+        dropped = sum(1 for i in throttles
+                      if i["args"].get("action") != "throttled_admit")
+        causes.append(Cause(
+            0.6 * len(throttles), "tenant_budget",
+            f"tenant '{tenant}' over its energy budget{budget_text}:"
+            f" {len(throttles)} arrival{'s' if len(throttles) != 1 else ''}"
+            f" throttled, {dropped} dropped, during this workflow"))
+
+    # Power-cap governor steps that slowed the cluster in the window.
+    cap_steps = [i for i in in_window if i["name"] == "power_cap_step"]
+    tightens = [i for i in cap_steps
+                if i["args"].get("direction") == "tighten"]
+    if tightens:
+        last = tightens[-1]["args"]
+        ceiling = last.get("freq_ceiling_ghz")
+        ceiling_text = (f", frequency ceiling {ceiling:.1f} GHz"
+                        if isinstance(ceiling, (int, float)) else "")
+        causes.append(Cause(
+            0.5 * len(tightens), "power_cap",
+            f"power cap epoch {last.get('epoch', '?')}:"
+            f" {len(tightens)} tightening"
+            f" step{'s' if len(tightens) != 1 else ''} under a"
+            f" {last.get('cap_w', 0):.0f} W cap{ceiling_text}"))
+
     # HA redispatches keyed by this workflow's uid.
     prefix = f"({workflow_uid},"
     redispatches = [i for i in data.instants

@@ -243,6 +243,42 @@ class EnergyLedger:
     def by_function(self, run: Optional[int] = None) -> Dict[str, float]:
         return self._by_key(lambda e: e.function, run)
 
+    #: Rollup key for entries no benchmark can be charged for (idle
+    #: cores, static background power, idle-pool retunes).
+    UNATTRIBUTED = "(unattributed)"
+
+    def by_benchmark_component(self, run: Optional[int] = None
+                               ) -> Dict[str, Dict[str, float]]:
+        """Joules per (benchmark x component); the billing substrate.
+
+        Entries without a benchmark land under :data:`UNATTRIBUTED`, so
+        the nested values sum to the ledger total exactly — billing
+        spreads that row rather than dropping it.
+        """
+        rows: Dict[str, Dict[str, float]] = {}
+        for entry in self._closed(run):
+            name = entry.benchmark or self.UNATTRIBUTED
+            row = rows.setdefault(name, {c: 0.0 for c in LEDGER_COMPONENTS})
+            row[entry.component] += entry.joules
+        return dict(sorted(rows.items()))
+
+    def by_tenant(self, tenant_of, run: Optional[int] = None
+                  ) -> Dict[str, float]:
+        """Joules per tenant, via a benchmark → tenant-name mapping.
+
+        ``tenant_of`` is called with each attributed entry's benchmark
+        (e.g. :meth:`TenantRegistry.tenant_name_of`); unattributable
+        entries land under :data:`UNATTRIBUTED`. The values sum to the
+        ledger total exactly (the tenancy conservation property).
+        """
+        totals: Dict[str, float] = {}
+        for entry in self._closed(run):
+            name = (tenant_of(entry.benchmark)
+                    if entry.benchmark is not None else self.UNATTRIBUTED)
+            totals[name] = totals.get(name, 0.0) + entry.joules
+        return dict(sorted(totals.items(),
+                           key=lambda item: (-item[1], item[0])))
+
     def epoch_component_j(self, run: int, n_epochs: int,
                           epoch_s: float) -> List[Dict[str, float]]:
         """Per-epoch joules per component, pro-rated by time overlap.
@@ -293,6 +329,7 @@ class EnergyLedger:
                 "by_pool": self.by_pool(run),
                 "by_benchmark": self.by_benchmark(run),
                 "by_function": self.by_function(run),
+                "by_benchmark_component": self.by_benchmark_component(run),
             })
         return {
             "source": "repro.obs.ledger (EcoFaaS reproduction)",

@@ -32,6 +32,8 @@ EPOCH_INSTANT_COLUMNS = {
     "ha_frozen": "ha_frozen",
     "slo_burn_fast": "slo_fast_burns",
     "slo_burn_slow": "slo_slow_burns",
+    "tenant_throttle": "tenant_throttles",
+    "power_cap_step": "power_cap_steps",
 }
 
 #: The ledger's component taxonomy: every metered joule lands in exactly

@@ -25,6 +25,10 @@ class TraceStats:
         self.queue_s: Dict[Tuple[int, str], float] = defaultdict(float)
         self.misses: Dict[Tuple[int, str], int] = defaultdict(int)
         self.completed: Dict[Tuple[int, str], int] = defaultdict(int)
+        #: run → tenant → settled bill row (from ``tenant_bill`` instants).
+        self.tenant_bills: Dict[int, Dict[str, dict]] = {}
+        #: (run, tenant) → count of ``tenant_throttle`` instants.
+        self.tenant_throttles: Dict[Tuple[int, str], int] = defaultdict(int)
 
     def top(self, table: Dict[Tuple[int, str], float], run: int,
             n: int) -> List[Tuple[str, float]]:
@@ -33,6 +37,24 @@ class TraceStats:
              if r == run and value > 0),
             key=lambda item: (-item[1], item[0]))
         return ranked[:n]
+
+    def tenant_rows(self, run: int) -> List[dict]:
+        """Per-tenant bill rows for ``run``, biggest energy user first.
+
+        A trace with throttle instants but no settled bill (the run was
+        never settled) still gets rows so the throttles show up.
+        """
+        rows = {name: dict(row)
+                for name, row in self.tenant_bills.get(run, {}).items()}
+        for (r, tenant), count in self.tenant_throttles.items():
+            if r != run:
+                continue
+            row = rows.setdefault(tenant, {
+                "tenant": tenant, "energy_j": 0.0, "energy_share": 0.0,
+                "cost_usd": 0.0, "throttles": 0})
+            row["throttles"] = max(row.get("throttles", 0), count)
+        return sorted(rows.values(),
+                      key=lambda row: (-row["energy_j"], row["tenant"]))
 
 
 def _run_of_pid(pid_names: Dict[int, str], pid: int) -> Tuple[int, str]:
@@ -63,6 +85,25 @@ def load_stats(path: str) -> TraceStats:
     uid_function: Dict[Tuple[int, int], str] = {}
     for event in events:
         phase, cat = event.get("ph"), event.get("cat")
+        if phase == "i":
+            name = event.get("name")
+            if name not in ("tenant_bill", "tenant_throttle"):
+                continue
+            run, label = _run_of_pid(pid_names, event["pid"])
+            stats.runs.setdefault(run, label)
+            args = event.get("args", {})
+            tenant = str(args.get("tenant", "?"))
+            if name == "tenant_bill":
+                stats.tenant_bills.setdefault(run, {})[tenant] = {
+                    "tenant": tenant,
+                    "energy_j": float(args.get("energy_j", 0.0)),
+                    "energy_share": float(args.get("energy_share", 0.0)),
+                    "cost_usd": float(args.get("cost_usd", 0.0)),
+                    "throttles": int(args.get("throttles", 0)),
+                }
+            else:
+                stats.tenant_throttles[(run, tenant)] += 1
+            continue
         if phase not in ("b", "e"):
             continue
         run, label = _run_of_pid(pid_names, event["pid"])
@@ -118,6 +159,19 @@ def format_report(stats: TraceStats, top_n: int = 10) -> str:
             for function, value in ranked:
                 lines.append(f"   {function.ljust(width)}"
                              f"  {fmt.format(value)}{unit}")
+        tenants = stats.tenant_rows(run)
+        if tenants:  # section only exists when the run was multi-tenant
+            lines.append("-- tenants (energy share / billed cost /"
+                         " throttles) --")
+            width = max(len(row["tenant"]) for row in tenants)
+            for row in tenants:
+                lines.append(
+                    f"   {row['tenant'].ljust(width)}"
+                    f"  {row['energy_j']:10.1f}J"
+                    f"  {row['energy_share'] * 100:5.1f}%"
+                    f"  ${row['cost_usd']:.6f}"
+                    f"  {row['throttles']} throttle"
+                    f"{'s' if row['throttles'] != 1 else ''}")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 
@@ -141,6 +195,7 @@ def stats_to_dict(stats: TraceStats, top_n: int = 10) -> dict:
             "top_deadline_misses": [
                 {"function": fn, "misses": int(value)}
                 for fn, value in stats.top(stats.misses, run, top_n)],
+            "tenants": stats.tenant_rows(run),
         })
     return {"source": "repro.obs.report", "runs": runs}
 

@@ -24,6 +24,8 @@ from repro.platform.reliability import ALL_DOWN_POLL_S, ReliabilityPolicy
 from repro.platform.system import ClusterSystem, NodeSystem
 from repro.sim.engine import Environment
 from repro.sim.rng import RngRegistry
+from repro.tenancy.config import TenancyConfig
+from repro.tenancy.runtime import TenancyRuntime
 from repro.traces.trace import Trace
 from repro.workloads.applications import Workflow
 from repro.workloads.registry import workflow_for
@@ -57,6 +59,10 @@ class ClusterConfig:
     #: failover, partition tolerance. None = the original code paths,
     #: byte-for-byte.
     ha: Optional[HAConfig] = None
+    #: Energy multi-tenancy (repro.tenancy): per-tenant budgets, the
+    #: power-cap governor, billing. None = the original code paths,
+    #: byte-for-byte.
+    tenancy: Optional[TenancyConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -98,6 +104,13 @@ class Cluster:
             self.guard = GuardRuntime(self, self.config.guard)
             env.guard = self.guard
             self.guard.arm()
+        #: Armed tenancy runtime (repro.tenancy), when a TenancyConfig
+        #: was given.
+        self.tenancy: Optional[TenancyRuntime] = None
+        if self.config.tenancy is not None:
+            self.tenancy = TenancyRuntime(self, self.config.tenancy)
+            env.tenancy = self.tenancy
+            self.tenancy.arm()
         #: Armed HA runtime (repro.ha), when an HAConfig was given.
         self.ha: Optional[HARuntime] = None
         if self.config.ha is not None:
@@ -172,6 +185,9 @@ class Cluster:
     def submit_workflow(self, workflow: Workflow) -> None:
         """Start one end-to-end application invocation now."""
         if self.guard is not None and not self.guard.admit_workflow(
+                workflow.name):
+            return
+        if self.tenancy is not None and not self.tenancy.admit_workflow(
                 workflow.name):
             return
         self.env.process(self._run_workflow(workflow, self.env.now),

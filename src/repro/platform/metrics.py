@@ -178,6 +178,17 @@ class MetricsCollector:
         #: Breaker charges skipped because the failing node was suspected
         #: (the node's fault, not the function's).
         self.breaker_node_blames = 0
+        # Tenancy counters (repro.tenancy). All stay zero without a
+        # TenancyConfig.
+        #: Budget-enforcement decisions (sheds, throttled admits, drops).
+        self.tenant_throttles = 0
+        #: Power-cap governor actuation changes (tightens + releases).
+        self.power_cap_steps = 0
+        #: Actuation steps that tightened the ladder (draw over cap).
+        self.power_cap_tightens = 0
+        #: Actuation steps that released the ladder (draw under the
+        #: release threshold).
+        self.power_cap_releases = 0
 
     # ------------------------------------------------------------------
     # Recording

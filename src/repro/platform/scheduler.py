@@ -350,6 +350,14 @@ class CorePoolScheduler:
         target_freq = self._job_frequency(job)
         if self.per_job_frequency and job.dispatch_correction is not None:
             target_freq = job.dispatch_correction(target_freq)
+        tenancy = getattr(self.env, "tenancy", None)
+        if tenancy is not None:
+            # Power-cap ceiling (repro.tenancy): every path that decides
+            # a core's speed — dispatch choice, boost, correction — runs
+            # through here, so this one clamp enforces the cap.
+            clamped = tenancy.clamp_freq(target_freq)
+            if clamped is not None:
+                target_freq = clamped
         pre_overhead = self.context_switch_s if context_switch else 0.0
         if abs(core.frequency - target_freq) > 1e-12:
             # The frequency change occupies the core before work starts

@@ -87,6 +87,19 @@ class NodeSystem(abc.ABC):
         self.server.finalize()
 
     # ------------------------------------------------------------------
+    # Power-cap hooks (repro.tenancy)
+    # ------------------------------------------------------------------
+    def apply_frequency_ceiling(self, ceiling_ghz: Optional[float]) -> None:
+        """Retune pools running above ``ceiling_ghz`` down to it.
+
+        Called by the power-cap governor on every actuation change (and
+        on reboot, to re-impose the active cap). The default (no pool
+        structure to retune) is a no-op; node models with frequency
+        control override. ``None`` lifts the ceiling — pools recover
+        their levels through their own control loops, not here.
+        """
+
+    # ------------------------------------------------------------------
     # Fault hooks (repro.faults)
     # ------------------------------------------------------------------
     def dvfs_cost_scale(self) -> float:
@@ -143,6 +156,11 @@ class NodeSystem(abc.ABC):
         guard = getattr(self.env, "guard", None)
         if guard is not None:
             guard.maybe_restore(self)
+        tenancy = getattr(self.env, "tenancy", None)
+        if tenancy is not None:
+            # A rebooted controller starts at the top frequency; the
+            # active power cap must not be forgotten with it.
+            tenancy.on_node_reboot(self)
         self.env.trace.instant("node_reboot", self.track)
 
     def kill_container(self, function_name: str) -> str:

@@ -47,6 +47,11 @@ class Environment:
         #: decision points skip building audit records entirely;
         #: ``AuditLog.bind(env)`` installs a recording log here.
         self.audit = None
+        #: Multi-tenancy hook (repro.tenancy). None keeps budget
+        #: enforcement, the power-cap governor, and frequency/core
+        #: clamps on the pre-tenancy code path; a cluster built with a
+        #: TenancyConfig installs its TenancyRuntime here.
+        self.tenancy = None
 
     @property
     def now(self) -> float:

@@ -1,0 +1,247 @@
+"""Tenancy tunables: tenants, energy budgets, power caps, pricing.
+
+A :class:`TenancyConfig` switches on the energy-multi-tenancy machinery
+of ``repro.tenancy``: per-tenant energy budgets over sliding windows,
+the cluster power-cap control loop, and joule-denominated billing. Like
+every other opt-in layer, a :class:`Cluster` built without a
+``TenancyConfig`` runs the exact pre-tenancy code paths (the regression
+suite pins this down to the byte).
+
+All tenancy decisions are pure functions of simulation time and metered
+counters — no random draws — so tenancy-armed runs are exactly as
+deterministic as plain ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.obs.registry import LEDGER_COMPONENTS
+
+
+def _require_finite(name: str, value: float) -> None:
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite: {value}")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: its benchmarks, its joule budget, its shed class.
+
+    ``budget_j`` is the tenant's energy allowance over the trailing
+    ``window_s`` seconds (None = unmetered tenant, never throttled).
+    When the windowed consumption exceeds the budget, the enforcement
+    policy follows the guard's shed ordering: a ``best_effort`` tenant's
+    arrivals are shed outright (brownout-style), while an SLO-bearing
+    tenant's arrivals are throttled through a token bucket at
+    ``throttle_rps``/``throttle_burst`` — slowed down, not starved.
+    """
+
+    name: str
+    #: Benchmarks owned by this tenant (the registry maps each arrival's
+    #: benchmark to exactly one tenant).
+    benchmarks: Tuple[str, ...] = ()
+    #: Joule allowance over the sliding window; None = never throttled.
+    budget_j: Optional[float] = None
+    #: Sliding-window length for the budget, seconds.
+    window_s: float = 10.0
+    #: Best-effort tenants are shed outright while over budget;
+    #: SLO-bearing tenants are throttled through the token bucket.
+    best_effort: bool = False
+    #: Over-budget admission rate for SLO-bearing tenants, workflows/s.
+    throttle_rps: float = 2.0
+    #: Over-budget token-bucket burst capacity.
+    throttle_burst: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a tenant needs a non-empty name")
+        if not self.benchmarks:
+            raise ValueError(f"tenant {self.name} owns no benchmarks")
+        if len(set(self.benchmarks)) != len(self.benchmarks):
+            raise ValueError(
+                f"tenant {self.name} lists a benchmark twice:"
+                f" {self.benchmarks}")
+        if self.budget_j is not None:
+            _require_finite("budget_j", self.budget_j)
+            if self.budget_j <= 0:
+                raise ValueError(
+                    f"budget_j must be positive: {self.budget_j}")
+        _require_finite("window_s", self.window_s)
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive: {self.window_s}")
+        _require_finite("throttle_rps", self.throttle_rps)
+        _require_finite("throttle_burst", self.throttle_burst)
+        if self.throttle_rps <= 0:
+            raise ValueError(
+                f"throttle_rps must be positive: {self.throttle_rps}")
+        if self.throttle_burst < 1:
+            raise ValueError(
+                f"throttle_burst must be >= 1: {self.throttle_burst}")
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Dollar prices per megajoule, by ledger component.
+
+    Billing prices *joules*, not GB-seconds: productive ``run`` energy
+    is the reference rate, ``cold_start`` energy is dearer (the platform
+    burned it on the tenant's behalf to meet latency), ``retry_waste``
+    dearest (it bought nothing), and pro-rated overheads (``idle``,
+    ``static``, ``freq_switch``) cheapest — they are the cost of keeping
+    the lights on, spread over everyone. Components missing from
+    ``usd_per_mj`` bill at ``default_usd_per_mj``.
+    """
+
+    usd_per_mj: Tuple[Tuple[str, float], ...] = (
+        ("run", 0.20),
+        ("block", 0.10),
+        ("cold_start", 0.30),
+        ("idle", 0.06),
+        ("freq_switch", 0.06),
+        ("retry_waste", 0.40),
+        ("shed", 0.40),
+        ("static", 0.04),
+    )
+    default_usd_per_mj: float = 0.20
+
+    def __post_init__(self) -> None:
+        _require_finite("default_usd_per_mj", self.default_usd_per_mj)
+        if self.default_usd_per_mj < 0:
+            raise ValueError(
+                f"default_usd_per_mj must be >= 0:"
+                f" {self.default_usd_per_mj}")
+        for component, price in self.usd_per_mj:
+            if component not in LEDGER_COMPONENTS:
+                raise ValueError(
+                    f"unknown ledger component in pricing: {component}")
+            _require_finite(f"usd_per_mj[{component}]", price)
+            if price < 0:
+                raise ValueError(
+                    f"price for {component} must be >= 0: {price}")
+
+    def price(self, component: str) -> float:
+        """$/MJ for one ledger component."""
+        for name, value in self.usd_per_mj:
+            if name == component:
+                return value
+        return self.default_usd_per_mj
+
+    def cost_usd(self, component: str, joules: float) -> float:
+        """Billed dollars for ``joules`` of one component."""
+        return self.price(component) * joules / 1e6
+
+
+@dataclass(frozen=True)
+class PowerCapConfig:
+    """The cluster power-cap control loop (:class:`PowerCapGovernor`).
+
+    Every ``period_s`` the governor compares the metered cluster draw
+    (summed :meth:`Server.power_snapshot_w`) against the active cap and
+    actuates one step through the existing controllers: while over the
+    cap it lowers the cluster-wide frequency ceiling one DVFS level per
+    tick, then shrinks the usable core fraction by ``core_step`` per
+    tick down to ``min_core_fraction``; once the draw falls below
+    ``release_fraction`` of the cap it releases one step per tick in the
+    reverse order. ``schedule`` makes the cap time-varying: a sorted
+    sequence of ``(t_s, cap_w)`` steps, each active from its timestamp
+    on (before the first step, ``cap_w`` applies).
+    """
+
+    #: The standing cap, watts.
+    cap_w: float = 400.0
+    #: Governor tick period (the T_refresh of the cap loop), seconds.
+    period_s: float = 2.0
+    #: Time-varying cap steps: ``((t_s, cap_w), ...)``, sorted by time.
+    schedule: Tuple[Tuple[float, float], ...] = ()
+    #: Draw below ``release_fraction * cap`` releases one actuation step.
+    release_fraction: float = 0.85
+    #: Floor on the usable-core fraction when shrinking pools.
+    min_core_fraction: float = 0.25
+    #: Usable-core fraction removed (or restored) per governor tick.
+    core_step: float = 0.125
+
+    def __post_init__(self) -> None:
+        _require_finite("cap_w", self.cap_w)
+        _require_finite("period_s", self.period_s)
+        _require_finite("release_fraction", self.release_fraction)
+        _require_finite("min_core_fraction", self.min_core_fraction)
+        _require_finite("core_step", self.core_step)
+        if self.cap_w <= 0:
+            raise ValueError(f"cap_w must be positive: {self.cap_w}")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive: {self.period_s}")
+        if not 0 < self.release_fraction < 1:
+            raise ValueError(
+                f"release_fraction must be in (0, 1):"
+                f" {self.release_fraction}")
+        if not 0 < self.min_core_fraction <= 1:
+            raise ValueError(
+                f"min_core_fraction must be in (0, 1]:"
+                f" {self.min_core_fraction}")
+        if not 0 < self.core_step <= 1:
+            raise ValueError(
+                f"core_step must be in (0, 1]: {self.core_step}")
+        last_t = -math.inf
+        for step in self.schedule:
+            if len(step) != 2:
+                raise ValueError(f"schedule steps are (t_s, cap_w): {step}")
+            t, watts = step
+            _require_finite("schedule t_s", t)
+            _require_finite("schedule cap_w", watts)
+            if t < 0:
+                raise ValueError(f"schedule times must be >= 0: {t}")
+            if watts <= 0:
+                raise ValueError(f"schedule caps must be positive: {watts}")
+            if t <= last_t:
+                raise ValueError(
+                    f"schedule must be strictly increasing in time:"
+                    f" {self.schedule}")
+            last_t = t
+
+    def cap_at(self, now: float) -> float:
+        """The active cap at simulation time ``now``, watts."""
+        cap = self.cap_w
+        for t, watts in self.schedule:
+            if t <= now:
+                cap = watts
+            else:
+                break
+        return cap
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """The full energy-multi-tenancy policy of one cluster.
+
+    ``power_cap`` left ``None`` disables the governor; a cluster with no
+    ``TenancyConfig`` at all runs the pre-tenancy code byte-for-byte.
+    """
+
+    tenants: Tuple[TenantSpec, ...] = ()
+    #: Budget-meter poll period (how often windowed consumption updates).
+    meter_period_s: float = 1.0
+    power_cap: Optional[PowerCapConfig] = None
+    pricing: PricingModel = field(default_factory=PricingModel)
+
+    def __post_init__(self) -> None:
+        _require_finite("meter_period_s", self.meter_period_s)
+        if self.meter_period_s <= 0:
+            raise ValueError(
+                f"meter_period_s must be positive: {self.meter_period_s}")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        owned: Dict[str, str] = {}
+        for tenant in self.tenants:
+            for benchmark in tenant.benchmarks:
+                if benchmark in owned:
+                    raise ValueError(
+                        f"benchmark {benchmark} is owned by both"
+                        f" {owned[benchmark]} and {tenant.name}")
+                owned[benchmark] = tenant.name
+
+    def tenant_names(self) -> Tuple[str, ...]:
+        return tuple(tenant.name for tenant in self.tenants)
