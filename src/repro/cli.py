@@ -12,6 +12,8 @@ Usage::
     python -m repro report out.json --format json
     python -m repro explain out.json --audit audit.jsonl
     python -m repro bench --quick --compare BENCH_old.json
+    python -m repro bench --history .
+    python -m repro profile --scale 1,3,10 --quick
 """
 
 from __future__ import annotations
@@ -143,11 +145,30 @@ def _bench(argv: List[str]) -> int:
                              " (e.g. 3.0 = allow 4x slower; default from"
                              " the bench module — CI machines vary, the"
                              " simulated metrics do not)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the kernel self-profiler section"
+                             " (events/s, hotspots) in each entry")
+    parser.add_argument("--history", nargs="?", const=".", default=None,
+                        metavar="DIR",
+                        help="don't run the panel; print the wall-time /"
+                             " energy trajectory across every"
+                             " BENCH_*.json under DIR (default .)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format for --history (default text)")
     args = parser.parse_args(argv)
     from repro.obs import bench as bench_mod
+    if args.history is not None:
+        document = bench_mod.history(args.history)
+        if args.format == "json":
+            print(json.dumps(document, indent=1, sort_keys=True))
+        else:
+            print(bench_mod.format_history(document), end="")
+        return 0 if document["files"] else 1
     document = bench_mod.run_bench(
         quick=args.quick,
-        progress=lambda message: print(message, file=sys.stderr))
+        progress=lambda message: print(message, file=sys.stderr),
+        profile=not args.no_profile)
     path = args.out or bench_mod.default_path(document)
     bench_mod.write_bench(document, path)
     print(f"[bench: {len(document['experiments'])} experiments -> {path}]")
@@ -170,6 +191,108 @@ def _bench(argv: List[str]) -> int:
                 print(f"  - {finding}")
             return 1
         print(f"[bench: no regressions vs {args.compare}]")
+    return 0
+
+
+def _profile(argv: List[str]) -> int:
+    """The ``repro profile`` subcommand: kernel self-profiling."""
+    parser = argparse.ArgumentParser(
+        prog="ecofaas profile",
+        description="Profile the reproduction itself: run a pinned"
+                    " EcoFaaS scenario at a ladder of trace-duration"
+                    " multipliers with the kernel self-profiler armed,"
+                    " printing per-scale hotspot tables, the scaling"
+                    " curve, and flamegraph-loadable collapsed stacks."
+                    " The profiler reads only the host wall-clock, so"
+                    " the simulated metrics match an unprofiled run"
+                    " bit for bit.")
+    parser.add_argument("--scale", default="1,3,10", metavar="K1,K2,...",
+                        help="comma-separated trace-duration multipliers"
+                             " (default 1,3,10)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short base scenario (CI smoke): shorter"
+                             " trace, fewer servers")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default text)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the full PROFILE document as"
+                             " JSON to PATH")
+    parser.add_argument("--collapsed", metavar="PREFIX",
+                        help="collapsed-stack output path prefix; one"
+                             " PREFIX.scale<K>.collapsed file per scale"
+                             " (default PROFILE_<date>)")
+    parser.add_argument("--cprofile", metavar="PATH",
+                        help="additionally run everything under"
+                             " cProfile and dump pstats data to PATH"
+                             " (loadable with python -m pstats)")
+    parser.add_argument("--min-conservation", type=float, default=0.9,
+                        metavar="FRAC",
+                        help="fail (exit 1) if attributed self-times sum"
+                             " to less than FRAC of measured wall-time"
+                             " at any scale (default 0.9)")
+    args = parser.parse_args(argv)
+    try:
+        scales = tuple(float(part) for part in args.scale.split(","))
+        if not scales or any(scale <= 0 for scale in scales):
+            raise ValueError
+    except ValueError:
+        print(f"bad --scale {args.scale!r}; expected e.g. 1,3,10",
+              file=sys.stderr)
+        return 2
+    from repro.obs import bench as bench_mod
+    from repro.obs import prof as prof_mod
+
+    def run() -> dict:
+        return bench_mod.run_profile(
+            scales=scales, quick=args.quick,
+            progress=lambda message: print(message, file=sys.stderr))
+
+    if args.cprofile:
+        import cProfile
+        profile = cProfile.Profile()
+        document = profile.runcall(run)
+        profile.dump_stats(args.cprofile)
+        print(f"[cprofile: pstats data -> {args.cprofile}]",
+              file=sys.stderr)
+    else:
+        document = run()
+
+    collapsed_paths = []
+    for entry in document["scales"]:
+        if args.collapsed:
+            path = f"{args.collapsed}.scale{entry['scale']:g}.collapsed"
+        else:
+            path = bench_mod.default_profile_collapsed_path(
+                document, entry["scale"])
+        with open(path, "w") as handle:
+            handle.write(entry["collapsed"])
+        collapsed_paths.append(path)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(document, indent=1, sort_keys=True))
+    else:
+        for entry in document["scales"]:
+            print(prof_mod.format_hotspots(entry))
+            print()
+        print(prof_mod.format_scaling(document))
+        print(f"[collapsed stacks: {', '.join(collapsed_paths)}]")
+        if args.out:
+            print(f"[profile document -> {args.out}]")
+
+    broken = [entry for entry in document["scales"]
+              if entry["wall_conservation"] < args.min_conservation]
+    if broken:
+        for entry in broken:
+            print(f"[profile: wall conservation"
+                  f" {100.0 * entry['wall_conservation']:.1f}% <"
+                  f" {100.0 * args.min_conservation:.0f}% at scale"
+                  f" {entry['scale']:g}x]", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -314,6 +437,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _explain(argv[1:])
     if argv and argv[0] == "bill":
         return _bill(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ecofaas",
         description="EcoFaaS reproduction: regenerate the paper's tables"
@@ -321,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'list', 'all', 'report',"
-             " 'explain', 'bill', or 'bench'")
+             " 'explain', 'bill', 'bench', or 'profile'")
     parser.add_argument(
         "--full", action="store_true",
         help="run at closer-to-paper scale (much slower)")

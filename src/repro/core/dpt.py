@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.milp import MilpProblem, solve_milp
 from repro.hardware.frequency import FrequencyScale
+from repro.obs.prof import profiled
 from repro.workloads.applications import Workflow
 
 
@@ -87,6 +88,7 @@ class DeadlineSplit:
         return deadlines
 
 
+@profiled("core.dpt")
 def split_deadlines(workflow: Workflow, slo_s: float,
                     dpt: DelayPowerTable,
                     max_nodes: Optional[int] = None) -> DeadlineSplit:
@@ -199,6 +201,7 @@ def _fastest_plan(workflow: Workflow, dpt: DelayPowerTable,
                          solver_exhausted=solver_exhausted)
 
 
+@profiled("core.dpt")
 def split_deadlines_exhaustive(workflow: Workflow, slo_s: float,
                                dpt: DelayPowerTable,
                                max_combinations: int = 2_000_000

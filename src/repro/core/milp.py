@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.obs.prof import profiled
+
 #: Integrality tolerance.
 _INT_TOL = 1e-6
 
@@ -81,6 +83,7 @@ def _solve_relaxation(problem: MilpProblem,
     return result
 
 
+@profiled("core.milp")
 def solve_milp(problem: MilpProblem, max_nodes: int = 20_000) -> MilpSolution:
     """Best-first branch and bound. Exact for feasible bounded problems."""
     counter = itertools.count()

@@ -46,6 +46,15 @@ from repro.obs.export import (
     write_epoch_metrics,
 )
 from repro.obs.ledger import EnergyConservationError, EnergyLedger
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    profiled,
+)
+from repro.obs.prof import active as active_profiler
+from repro.obs.prof import install as install_profiler
+from repro.obs.prof import uninstall as uninstall_profiler
 from repro.obs.registry import (
     EPOCH_INSTANT_COLUMNS,
     LEDGER_COMPONENTS,
@@ -66,6 +75,7 @@ __all__ = [
     "EPOCH_INSTANT_COLUMNS",
     "LEDGER_COMPONENTS",
     "LEDGER_EPOCH_COLUMNS",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "AuditLog",
     "AuditRecord",
@@ -76,10 +86,13 @@ __all__ = [
     "EnergyLedger",
     "InstantRecord",
     "LogBucketHistogram",
+    "NullProfiler",
     "NullTracer",
+    "Profiler",
     "SpanRecord",
     "Tracer",
     "active_audit",
+    "active_profiler",
     "active_tracer",
     "chrome_trace_events",
     "epoch_rows",
@@ -87,12 +100,15 @@ __all__ = [
     "format_explanation",
     "install",
     "install_audit",
+    "install_profiler",
     "load_explain_data",
+    "profiled",
     "queueing_by_function",
     "report",
     "run_summary",
     "uninstall",
     "uninstall_audit",
+    "uninstall_profiler",
     "validate_events",
     "validate_file",
     "write_chrome_trace",

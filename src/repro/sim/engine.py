@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Sequence, Tuple
 
+from repro.obs.prof import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
@@ -52,6 +53,12 @@ class Environment:
         #: clamps on the pre-tenancy code path; a cluster built with a
         #: TenancyConfig installs its TenancyRuntime here.
         self.tenancy = None
+        #: Self-profiling hook (repro.obs.prof). The shared null profiler
+        #: makes the kernel-counter and scoped-timer points no-ops;
+        #: ``Profiler.bind(env)`` swaps in a recording profiler. A bound
+        #: profiler reads only the host wall-clock — never simulation
+        #: state — so profiled runs stay bit-identical to the seed.
+        self.prof = NULL_PROFILER
 
     @property
     def now(self) -> float:
@@ -103,6 +110,8 @@ class Environment:
             raise ValueError(f"negative delay {delay}")
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self.prof.enabled:
+            self.prof.note_push(len(self._queue))
 
     def peek(self) -> float:
         """Timestamp of the next event, or ``inf`` if the heap is empty."""
@@ -118,8 +127,18 @@ class Environment:
             raise EmptySchedule() from None
 
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        prof = self.prof
+        if prof.enabled:
+            prof.note_event(type(event).__name__, len(callbacks))
+            prof.enter("kernel.dispatch")
+            try:
+                for callback in callbacks:
+                    callback(event)
+            finally:
+                prof.exit("kernel.dispatch")
+        else:
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not event._defused:
             # An event failed and nobody was listening: surface the error.
