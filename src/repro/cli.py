@@ -427,8 +427,64 @@ def _explain(argv: List[str]) -> int:
     return 0
 
 
+def _fuzz(argv: List[str]) -> int:
+    """The ``repro fuzz`` subcommand: seeded chaos fuzzing + shrinking."""
+    from repro.verify import fuzz as fuzz_mod
+    from repro.verify.mutate import MUTATIONS
+    parser = argparse.ArgumentParser(
+        prog="ecofaas fuzz",
+        description="Search random fault schedules (with overload bursts"
+                    " and guard/ha/tenancy config draws) for cross-layer"
+                    " invariant violations; any hit is delta-debugged to"
+                    " a minimal fault plan and saved as a self-contained"
+                    " JSON artifact that --replay re-executes"
+                    " byte-deterministically.")
+    parser.add_argument("--trials", type=int, default=25,
+                        help="seeded trials to run (default 25)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign root seed (default 0)")
+    parser.add_argument("--replay", metavar="ARTIFACT",
+                        help="re-execute a saved fuzz artifact and verify"
+                             " the outcome matches byte-for-byte")
+    parser.add_argument("--artifact-dir", default="fuzz-artifacts",
+                        metavar="DIR",
+                        help="where shrunk repro artifacts are written"
+                             " (default fuzz-artifacts/)")
+    parser.add_argument("--max-shrink", type=int, default=64,
+                        metavar="N",
+                        help="shrink-phase trial budget per violation"
+                             " (default 64)")
+    # Hidden test hook: plant a known bug so the test suite can prove
+    # the fuzzer finds and shrinks real violations.
+    parser.add_argument("--mutate", choices=sorted(MUTATIONS),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.replay:
+        outcome = fuzz_mod.replay(args.replay)
+        names = sorted({v["invariant"] for v in outcome["violations"]})
+        print(f"[replay: {args.replay} ->"
+              f" {', '.join(names) if names else 'no violation'};"
+              f" byte-identical: {'yes' if outcome['match'] else 'NO'}]")
+        if not outcome["match"]:
+            print(f"  stored:   {outcome['stored']}", file=sys.stderr)
+            print(f"  replayed: {outcome['replayed']}", file=sys.stderr)
+        return 0 if outcome["match"] else 1
+    if args.trials < 1:
+        parser.error("--trials must be >= 1")
+    summary = fuzz_mod.campaign(
+        args.trials, args.seed, mutate=args.mutate,
+        artifact_dir=args.artifact_dir, max_shrink=args.max_shrink)
+    hits = summary["violating_trials"]
+    print(f"[fuzz: {args.trials} trials, seed {args.seed}:"
+          f" {len(hits)} violating trial(s)"
+          f"{' ' + str(hits) if hits else ''}]")
+    return 1 if hits else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fuzz":
+        return _fuzz(argv[1:])
     if argv and argv[0] == "report":
         return _report(argv[1:])
     if argv and argv[0] == "bench":
@@ -493,6 +549,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="arm per-benchmark SLO burn-rate monitors: latency"
              " histograms plus fast/slow burn alert instants in the"
              " trace (requires --trace)")
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="arm the repro.verify invariant monitors (clock, energy"
+             " conservation, exactly-once lifecycle, breaker legality,"
+             " HA fencing, tenant budgets); any violation fails the run"
+             " with a non-zero exit code")
     args = parser.parse_args(argv)
     if args.epoch_metrics and not args.trace:
         parser.error("--epoch-metrics requires --trace")
@@ -522,19 +584,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.audit:
         from repro import obs
         audit = obs.install_audit(obs.AuditLog())
+    verifier = None
+    if args.verify:
+        from repro import verify
+        verifier = verify.install(verify.Verifier())
+
+    def _new_violations(since: int) -> str:
+        """Summarize verifier violations recorded past index ``since``."""
+        fresh = verifier.violations[since:]
+        if not fresh:
+            return ""
+        counts: dict = {}
+        for violation in fresh:
+            counts[violation.invariant] = counts.get(violation.invariant,
+                                                     0) + 1
+        return ", ".join(f"{name} x{count}"
+                         for name, count in sorted(counts.items()))
+
     try:
         if args.experiment == "all":
             # One failing experiment must not abort the whole sweep: run
             # every one, print the pass/fail summary table at the end,
-            # exit non-zero if any failed.
+            # exit non-zero if any failed (including any armed invariant
+            # monitor reporting a violation).
             outcomes: List[tuple] = []
             for key in EXPERIMENTS:
+                seen = len(verifier.violations) if verifier else 0
                 try:
                     elapsed = _run_one(key, quick=not args.full,
                                        seed=args.seed, chart=args.chart,
                                        ha=args.ha, tenancy=args.tenancy,
                                        power_cap=args.power_cap)
-                    outcomes.append((key, True, f"{elapsed:.1f}s"))
+                    violated = _new_violations(seen) if verifier else ""
+                    if violated:
+                        outcomes.append(
+                            (key, False, f"invariants: {violated}"))
+                        print(f"[{key} FAILED invariants: {violated}]",
+                              file=sys.stderr)
+                        print()
+                    else:
+                        outcomes.append((key, True, f"{elapsed:.1f}s"))
                 except Exception as error:  # noqa: BLE001 - sweep must go on
                     outcomes.append(
                         (key, False, f"{type(error).__name__}: {error}"))
@@ -549,6 +638,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                          seed=args.seed, chart=args.chart, ha=args.ha,
                          tenancy=args.tenancy, power_cap=args.power_cap)
                 status = 0
+                if verifier is not None and verifier.violations:
+                    print(f"[{args.experiment} FAILED invariants:"
+                          f" {_new_violations(0)}]", file=sys.stderr)
+                    for violation in verifier.violations:
+                        print(f"  - [{violation.run}]"
+                              f" {violation.invariant}"
+                              f" @{violation.time_s:.3f}s:"
+                              f" {violation.message}", file=sys.stderr)
+                    status = 1
             except Exception as error:  # noqa: BLE001 - exit code, not trace
                 print(f"[{args.experiment} FAILED:"
                       f" {type(error).__name__}: {error}]", file=sys.stderr)
@@ -558,6 +656,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs.uninstall()
         if audit is not None:
             obs.uninstall_audit()
+        if verifier is not None:
+            verify.uninstall()
+
+    if verifier is not None:
+        total = len(verifier.violations)
+        print(f"[verify: {verifier.runs} run(s) monitored,"
+              f" {total} violation(s)"
+              f"{': ' + _new_violations(0) if total else ''}]")
 
     if tracer is not None:
         n_events = obs.write_chrome_trace(tracer, args.trace)

@@ -155,6 +155,9 @@ class WorkflowController:
                 continue
             for fn in stage.functions:
                 node = cluster.pick_node()
+                if node is None:
+                    # Every node is down (crash storm): nothing to warm.
+                    return
                 if node.containers.state(fn.name) != "cold":
                     continue
                 previous_stage = self.workflow.stages[stage_index - 1]

@@ -49,4 +49,5 @@ EXPERIMENTS = {
     "overload": "repro.experiments.overload",
     "partition": "repro.experiments.partition",
     "tenancy": "repro.experiments.tenancy",
+    "fuzzsmoke": "repro.experiments.fuzz_smoke",
 }

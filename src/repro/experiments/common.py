@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import obs
+from repro import obs, verify
 from repro.baselines import BaselineSystem, PowerCtrlSystem
 from repro.core import EcoFaaSSystem
 from repro.core.config import EcoFaaSConfig
@@ -153,8 +153,17 @@ def run_cluster(system, trace: Trace,
     if audit is not None:
         audit.begin_run(label)
         audit.bind(env)
+    verifier = verify.active()
+    if verifier is not None:
+        # Invariant monitors (repro.verify): read-only checks of the
+        # kernel clock, energy meters, breaker transitions, HA fencing,
+        # and tenant budgets. Reads only — armed runs stay bit-identical.
+        verifier.begin_run(label)
+        verifier.bind(env)
     cluster = Cluster(env, system, config or ClusterConfig(),
                       fault_plan=fault_plan)
+    if verifier is not None:
+        verifier.arm(cluster)
     if tracer is not None:
         env.process(_trace_counter_sampler(env, cluster, tracer),
                     name="obs-counter-sampler")
@@ -166,6 +175,10 @@ def run_cluster(system, trace: Trace,
                 yield env.timeout(sample_period_s)
         env.process(sampler(), name="freq-sampler")
     cluster.run_trace(trace)
+    if verifier is not None:
+        # End-of-run checks: workflow-lifecycle conservation, duplicate
+        # completions, election-epoch monotonicity, plus a final sweep.
+        verifier.close_run(cluster)
     if tracer is not None and tracer.ledger is not None:
         # Closing the run classifies this run's raw entries and checks
         # conservation against the hardware meters (raises on mismatch).

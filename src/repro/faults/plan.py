@@ -12,8 +12,8 @@ Plans are built *before* the simulation starts, from their own seeded RNG
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,11 @@ class FaultEvent:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of"
                 f" {FAULT_KINDS}")
+        for field_name in ("time_s", "duration_s", "magnitude"):
+            value = getattr(self, field_name)
+            if math.isnan(value) or math.isinf(value):
+                raise ValueError(
+                    f"{field_name} must be finite: {value!r}")
         if self.time_s < 0:
             raise ValueError(f"negative fault time {self.time_s}")
         if self.node < 0:
@@ -141,6 +146,93 @@ class FaultPlan:
         if kind is None:
             return len(self.events)
         return sum(1 for e in self.events if e.kind == kind)
+
+    # ------------------------------------------------------------------
+    # Validation against a concrete cluster shape
+    # ------------------------------------------------------------------
+    def check(self, n_servers: Optional[int] = None,
+              functions: Optional[Sequence[str]] = None,
+              n_controllers: Optional[int] = None) -> List[str]:
+        """Problems this plan would cause on a cluster of the given shape.
+
+        Per-event shape (finite times, positive windows, known kinds) is
+        already enforced by :class:`FaultEvent` at construction; this
+        checks the cross-event and cluster-relative properties that a
+        single event cannot see: node indices out of range, container
+        kills of unknown functions, controller ids out of range, and
+        crash windows that overlap on the same node (the second crash
+        would hit a node that is already down). Returns a list of
+        human-readable problems, empty when the plan is clean.
+
+        Kept separate from construction deliberately: hand-written and
+        ``calibrated`` plans target nodes modulo the cluster size at
+        injection time and tolerate overlapping crash windows (a crash
+        landing on a down node is simply absorbed), so rejecting them
+        eagerly would break existing schedules. Fuzzer-generated plans
+        and deserialized artifacts call :meth:`validate`.
+        """
+        problems: List[str] = []
+        node_kinds = (NODE_CRASH, CONTAINER_KILL, RPC_SPIKE, DVFS_STALL)
+        known = set(functions) if functions is not None else None
+        crash_windows: Dict[int, List[Tuple[float, float]]] = {}
+        for event in self.events:
+            where = f"{event.kind}@{event.time_s:.3f}s"
+            if (n_servers is not None and event.kind in node_kinds
+                    and event.node >= n_servers):
+                problems.append(
+                    f"{where}: node {event.node} out of range for a"
+                    f" {n_servers}-server cluster")
+            if (n_controllers is not None
+                    and event.kind == CONTROLLER_CRASH
+                    and event.node >= n_controllers):
+                problems.append(
+                    f"{where}: controller replica {event.node} out of"
+                    f" range for a {n_controllers}-replica group")
+            if (known is not None and event.kind == CONTAINER_KILL
+                    and event.function not in known):
+                problems.append(
+                    f"{where}: unknown function {event.function!r}")
+            if event.kind == NODE_CRASH:
+                window = (event.time_s, event.time_s + event.duration_s)
+                for start, end in crash_windows.get(event.node, []):
+                    if window[0] < end and start < window[1]:
+                        problems.append(
+                            f"{where}: crash window"
+                            f" [{window[0]:.3f}, {window[1]:.3f}]s on"
+                            f" node {event.node} overlaps"
+                            f" [{start:.3f}, {end:.3f}]s")
+                crash_windows.setdefault(event.node, []).append(window)
+        return problems
+
+    def validate(self, n_servers: Optional[int] = None,
+                 functions: Optional[Sequence[str]] = None,
+                 n_controllers: Optional[int] = None) -> "FaultPlan":
+        """Raise ``ValueError`` listing every :meth:`check` problem."""
+        problems = self.check(n_servers=n_servers, functions=functions,
+                              n_controllers=n_controllers)
+        if problems:
+            raise ValueError(
+                "invalid fault plan:\n  " + "\n  ".join(problems))
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization (fuzz artifacts)
+    # ------------------------------------------------------------------
+    def to_json(self) -> List[Dict[str, object]]:
+        """JSON-ready event list; round-trips through :meth:`from_json`."""
+        return [asdict(event) for event in self.events]
+
+    @classmethod
+    def from_json(cls, data: Sequence[Dict[str, object]]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output (re-validated)."""
+        events = []
+        for row in data:
+            unknown = set(row) - {f for f in FaultEvent.__dataclass_fields__}
+            if unknown:
+                raise ValueError(
+                    f"unknown fault-event fields: {sorted(unknown)}")
+            events.append(FaultEvent(**row))
+        return cls(tuple(events))
 
     # ------------------------------------------------------------------
     # Factories

@@ -22,8 +22,14 @@ HALF_OPEN = "half_open"
 class CircuitBreaker:
     """One function's breaker state machine."""
 
-    def __init__(self, config: BreakerConfig):
+    def __init__(self, config: BreakerConfig, name: str = "",
+                 observer=None):
         self.config = config
+        self.name = name
+        #: Optional transition observer ``(name, old, new)`` — the
+        #: verify layer's legality monitor. None keeps transitions on
+        #: the plain assignment path.
+        self.observer = observer
         self.state = CLOSED
         #: Trailing attempt outcomes: (time, is_failure).
         self._outcomes: Deque[Tuple[float, bool]] = deque()
@@ -32,6 +38,12 @@ class CircuitBreaker:
         self._probe_in_flight = False
         #: Times the breaker tripped open (including re-opens).
         self.open_count = 0
+
+    def _set_state(self, new_state: str) -> None:
+        old = self.state
+        self.state = new_state
+        if self.observer is not None and old != new_state:
+            self.observer(self.name, old, new_state)
 
     # ------------------------------------------------------------------
     # Outcome ingestion
@@ -67,14 +79,14 @@ class CircuitBreaker:
         return failures >= self.config.failure_rate * len(self._outcomes)
 
     def _trip(self, now: float) -> None:
-        self.state = OPEN
+        self._set_state(OPEN)
         self._opened_at = now
         self._probe_in_flight = False
         self._outcomes.clear()
         self.open_count += 1
 
     def _reset(self) -> None:
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._opened_at = None
         self._probe_in_flight = False
         self._outcomes.clear()
@@ -102,7 +114,7 @@ class CircuitBreaker:
         if self.state == OPEN:
             if now - self._opened_at < self.config.open_for_s:
                 return False
-            self.state = HALF_OPEN
+            self._set_state(HALF_OPEN)
             self._probe_in_flight = False
         if self._probe_in_flight:
             return False
@@ -115,11 +127,16 @@ class BreakerBoard:
 
     def __init__(self, config: BreakerConfig):
         self.config = config
+        #: Transition observer handed to every breaker (see
+        #: :attr:`CircuitBreaker.observer`). Arming a verifier sets it
+        #: and back-fills the breakers created so far.
+        self.observer = None
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, function_name: str) -> CircuitBreaker:
         if function_name not in self._breakers:
-            self._breakers[function_name] = CircuitBreaker(self.config)
+            self._breakers[function_name] = CircuitBreaker(
+                self.config, name=function_name, observer=self.observer)
         return self._breakers[function_name]
 
     def states(self) -> Dict[str, str]:

@@ -124,6 +124,9 @@ class Cluster:
         self._rr_index = 0
         #: Workflows in flight (for drain diagnostics).
         self.inflight = 0
+        #: Workflows ever submitted (the verify layer's lifecycle-
+        #: conservation denominator; not part of any fingerprint).
+        self.submitted_workflows = 0
         #: Workflow ids for trace spans (allocated unconditionally so
         #: traced and untraced runs walk identical code paths).
         self._wf_ids = itertools.count()
@@ -184,6 +187,7 @@ class Cluster:
     # ------------------------------------------------------------------
     def submit_workflow(self, workflow: Workflow) -> None:
         """Start one end-to-end application invocation now."""
+        self.submitted_workflows += 1
         if self.guard is not None and not self.guard.admit_workflow(
                 workflow.name):
             return

@@ -7,6 +7,7 @@ from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.obs.prof import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
+from repro.verify.invariants import NULL_VERIFIER
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -59,6 +60,12 @@ class Environment:
         #: profiler reads only the host wall-clock — never simulation
         #: state — so profiled runs stay bit-identical to the seed.
         self.prof = NULL_PROFILER
+        #: Invariant-monitor hook (repro.verify). The shared null
+        #: verifier makes every check point a no-op;
+        #: ``Verifier.bind(env)`` swaps in a recording verifier. A bound
+        #: verifier only reads simulation state, so verified runs stay
+        #: bit-identical to the seed.
+        self.verify = NULL_VERIFIER
 
     @property
     def now(self) -> float:
@@ -125,6 +132,10 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+
+        verify = self.verify
+        if verify.enabled:
+            verify.on_step(self._now)
 
         callbacks, event.callbacks = event.callbacks, None
         prof = self.prof

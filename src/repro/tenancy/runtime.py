@@ -144,6 +144,9 @@ class TenancyRuntime:
         else:
             action = "throttled_drop"
             reason = SHED_TENANT_THROTTLE
+        verify = self.env.verify
+        if verify.enabled:
+            verify.on_tenant_admit(benchmark, tenant, action)
         self.registry.record_throttle(tenant.name)
         self.metrics.tenant_throttles += 1
         if reason is not None:

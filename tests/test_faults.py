@@ -403,3 +403,65 @@ class TestInjectorDeterminism:
         first, second = run(), run()
         assert first == second
         assert first  # something actually fired
+
+
+class TestPlanValidationAndSerialization:
+    """Cluster-relative validation and the fuzz-artifact JSON round trip."""
+
+    def test_nan_and_inf_times_are_rejected(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                FaultEvent(bad, NODE_CRASH, duration_s=1.0)
+            with pytest.raises(ValueError, match="finite"):
+                FaultEvent(1.0, RPC_SPIKE, duration_s=bad)
+            with pytest.raises(ValueError, match="finite"):
+                FaultEvent(1.0, DVFS_STALL, duration_s=1.0, magnitude=bad)
+
+    def test_check_flags_cluster_relative_problems(self):
+        plan = FaultPlan((
+            FaultEvent(1.0, NODE_CRASH, node=5, duration_s=2.0),
+            FaultEvent(2.0, CONTAINER_KILL, node=0, function="Ghost"),
+        ))
+        problems = plan.check(n_servers=2, functions=["WebServ"])
+        assert len(problems) == 2
+        assert any("out of range" in p for p in problems)
+        assert any("Ghost" in p for p in problems)
+        # Without a cluster shape, nothing is checkable.
+        assert plan.check() == []
+
+    def test_check_flags_overlapping_crash_windows(self):
+        plan = FaultPlan((
+            FaultEvent(1.0, NODE_CRASH, node=0, duration_s=3.0),
+            FaultEvent(2.0, NODE_CRASH, node=0, duration_s=3.0),
+            FaultEvent(2.0, NODE_CRASH, node=1, duration_s=3.0),
+        ))
+        problems = plan.check(n_servers=2)
+        assert len(problems) == 1
+        assert "overlaps" in problems[0]
+
+    def test_validate_raises_listing_every_problem(self):
+        plan = FaultPlan((
+            FaultEvent(1.0, NODE_CRASH, node=9, duration_s=2.0),
+            FaultEvent(4.0, NODE_CRASH, node=9, duration_s=2.0),
+        ))
+        with pytest.raises(ValueError, match="invalid fault plan"):
+            plan.validate(n_servers=2)
+        assert plan.validate(n_servers=10) is plan  # clean shape passes
+
+    def test_calibrated_plans_keep_passing_node_range_checks(self):
+        plan = FaultPlan.calibrated(60.0, 3, ["WebServ"], seed=11)
+        problems = plan.check(n_servers=3, functions=["WebServ"])
+        assert all("overlaps" in p for p in problems)
+
+    def test_json_round_trip_is_identity(self):
+        plan = FaultPlan.calibrated(30.0, 2, ["WebServ", "CNNServ"],
+                                    seed=4)
+        data = plan.to_json()
+        import json
+        assert json.loads(json.dumps(data)) == data
+        assert FaultPlan.from_json(data) == plan
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-event fields"):
+            FaultPlan.from_json([{"time_s": 1.0, "kind": NODE_CRASH,
+                                  "duration_s": 1.0, "severity": "bad"}])

@@ -1,0 +1,118 @@
+"""Property-based tests (seeded stdlib random — no new dependencies).
+
+Random operation sequences against two safety-critical state machines:
+
+* ``guard.breaker`` — under any interleaving of successes, failures,
+  and admission probes at random times, every state transition stays
+  inside the legal set closed→open→half_open→{closed,open}, and the
+  half-open probe is exclusive.
+* ``ha.journal`` — under any interleaving of register / may_redispatch /
+  record_redispatch / record_completion, each key is re-dispatched at
+  most once per completion epoch and duplicate completions are fenced
+  exactly (first write wins, every later write is counted).
+"""
+
+import random
+
+from repro.guard.breaker import CircuitBreaker
+from repro.guard.config import BreakerConfig
+from repro.ha.journal import RedispatchJournal
+from repro.verify.invariants import LEGAL_BREAKER_TRANSITIONS
+
+N_SEQUENCES = 30
+N_OPS = 400
+
+
+class TestBreakerTransitionLegality:
+    def _run_sequence(self, seed: int):
+        rng = random.Random(seed)
+        config = BreakerConfig(
+            window_s=rng.uniform(2.0, 10.0),
+            min_failures=rng.randint(1, 4),
+            failure_rate=rng.uniform(0.2, 0.9),
+            open_for_s=rng.uniform(0.5, 4.0))
+        transitions = []
+        breaker = CircuitBreaker(
+            config, name="fn",
+            observer=lambda name, old, new: transitions.append((old, new)))
+        now = 0.0
+        for _ in range(N_OPS):
+            now += rng.uniform(0.0, 1.5)
+            op = rng.random()
+            if op < 0.4:
+                breaker.record_failure(now)
+            elif op < 0.7:
+                breaker.record_success(now)
+            else:
+                breaker.allow(now)
+            assert breaker.state in ("closed", "open", "half_open")
+        return transitions
+
+    def test_random_sequences_only_take_legal_transitions(self):
+        total = 0
+        for seed in range(N_SEQUENCES):
+            for old, new in self._run_sequence(seed):
+                assert (old, new) in LEGAL_BREAKER_TRANSITIONS, (
+                    f"seed {seed}: illegal transition {old} -> {new}")
+                total += 1
+        # The sequences must actually exercise the machine.
+        assert total > N_SEQUENCES
+
+    def test_half_open_probe_is_exclusive(self):
+        for seed in range(N_SEQUENCES):
+            rng = random.Random(1000 + seed)
+            breaker = CircuitBreaker(BreakerConfig(
+                window_s=5.0, min_failures=1, failure_rate=0.1,
+                open_for_s=1.0))
+            now = 0.0
+            for _ in range(N_OPS):
+                now += rng.uniform(0.0, 0.7)
+                if rng.random() < 0.5:
+                    breaker.record_failure(now)
+                else:
+                    admitted = breaker.allow(now)
+                    if breaker.state == "half_open" and admitted:
+                        # A second call while the probe is out must fail
+                        # fast: only one probe may be in flight.
+                        assert not breaker.allow(now)
+                        if rng.random() < 0.5:
+                            breaker.record_success(now)
+
+
+class TestJournalDuplicateFencing:
+    def test_random_sequences_fence_exactly_once(self):
+        for seed in range(N_SEQUENCES):
+            rng = random.Random(seed)
+            journal = RedispatchJournal()
+            keys = [(uid, 0, fn) for uid in range(6) for fn in range(2)]
+            redispatched = set()
+            completed = set()
+            expected_duplicates = 0
+            now = 0.0
+            for _ in range(N_OPS):
+                now += rng.uniform(0.0, 0.5)
+                key = rng.choice(keys)
+                op = rng.random()
+                if op < 0.25:
+                    journal.register(key, now)
+                elif op < 0.5:
+                    journal.register(key, now)
+                    if journal.may_redispatch(key):
+                        assert key not in redispatched
+                        assert key not in completed
+                        journal.record_redispatch(key, now)
+                        redispatched.add(key)
+                    else:
+                        # Either already re-dispatched or already done.
+                        assert key in redispatched or key in completed
+                else:
+                    journal.register(key, now)
+                    first = journal.record_completion(key, now)
+                    if key in completed:
+                        assert not first
+                        expected_duplicates += 1
+                    else:
+                        assert first
+                        completed.add(key)
+            assert journal.duplicate_completions == expected_duplicates
+            assert journal.redispatch_count() == len(redispatched)
