@@ -1,0 +1,107 @@
+"""Adaptive retry-token accounting (repro.cancel).
+
+A :class:`RetryTokenPool` is a fixed-capacity bucket whose tokens are
+always in exactly one of three states — available, spent, or refunded —
+so ``available + spent + refunded == capacity`` holds at every instant
+(the ``retry-budget`` verify invariant). A refunded token is *retired*
+for the current window rather than returned to ``available``: a retry
+that was granted but never dispatched still consumed window headroom,
+and keeping it retired makes the audit trail conservative.
+
+:class:`RetryBudget` re-primes a fresh pool every ``window_s`` (a lazy
+tumbling window — rolled on access, so idle windows cost nothing), sizing
+the new capacity to ``ratio`` of the first attempts counted in the window
+just closed. All arithmetic is integer/derived from sim time; no random
+draws, so armed runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cancel.config import RetryBudgetConfig
+
+
+class RetryTokenPool:
+    """One window's worth of retry tokens, conserving by construction."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.available = capacity
+        self.spent = 0
+        self.refunded = 0
+
+    def grant(self) -> bool:
+        """Move one token available → spent; False when none remain."""
+        if self.available <= 0:
+            return False
+        self.available -= 1
+        self.spent += 1
+        return True
+
+    def refund(self) -> None:
+        """Move one token spent → refunded (retired, not reusable)."""
+        if self.spent <= 0:
+            raise RuntimeError("refund without a matching grant")
+        self.spent -= 1
+        self.refunded += 1
+
+    def conserves(self) -> bool:
+        """The three-state partition sums back to capacity."""
+        return (self.available + self.spent + self.refunded == self.capacity
+                and self.available >= 0 and self.spent >= 0
+                and self.refunded >= 0)
+
+
+class RetryBudget:
+    """Cluster-wide adaptive retry budget over tumbling windows."""
+
+    def __init__(self, config: RetryBudgetConfig, now: float = 0.0):
+        self.config = config
+        self.pool = RetryTokenPool(config.floor)
+        self._window_end = now + config.window_s
+        self._first_attempts = 0
+        # Cumulative counters for metrics/verify (never reset).
+        self.granted_total = 0
+        self.denied_total = 0
+        self.refunded_total = 0
+        self.rolls = 0
+
+    def _roll(self, now: float) -> None:
+        """Advance past every window boundary ``now`` has crossed."""
+        while now >= self._window_end:
+            capacity = max(
+                self.config.floor,
+                int(math.ceil(self.config.ratio * self._first_attempts)))
+            self.pool = RetryTokenPool(capacity)
+            self._first_attempts = 0
+            self._window_end += self.config.window_s
+            self.rolls += 1
+
+    def note_first_attempt(self, now: float) -> None:
+        """Count one first attempt toward the next window's capacity."""
+        self._roll(now)
+        self._first_attempts += 1
+
+    def try_grant(self, now: float) -> bool:
+        """Spend one retry token, or deny when the window is exhausted."""
+        self._roll(now)
+        if self.pool.grant():
+            self.granted_total += 1
+            return True
+        self.denied_total += 1
+        return False
+
+    def refund(self, now: float) -> None:
+        """Retire a granted token whose retry never dispatched.
+
+        If the window rolled since the grant, the fresh pool has no spent
+        tokens to move — the old pool (token and all) was already retired
+        wholesale, so only the cumulative counter advances.
+        """
+        self._roll(now)
+        if self.pool.spent > 0:
+            self.pool.refund()
+        self.refunded_total += 1

@@ -53,7 +53,8 @@ def _chart(key: str, result) -> None:
 
 def _run_one(key: str, quick: bool, seed: int, chart: bool = False,
              ha: bool = False, tenancy: bool = False,
-             power_cap: Optional[float] = None) -> float:
+             power_cap: Optional[float] = None,
+             cancel: bool = False) -> float:
     module = importlib.import_module(EXPERIMENTS[key])
     parameters = inspect.signature(module.run).parameters
     kwargs = {}
@@ -64,7 +65,8 @@ def _run_one(key: str, quick: bool, seed: int, chart: bool = False,
             print(f"[{key} does not support --ha; running without it]",
                   file=sys.stderr)
     for flag, name, value in (("--tenancy", "tenancy", tenancy or None),
-                              ("--power-cap", "power_cap", power_cap)):
+                              ("--power-cap", "power_cap", power_cap),
+                              ("--cancel", "cancel", cancel or None)):
         if value is None:
             continue
         if name in parameters:
@@ -523,6 +525,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="arm the cluster power-cap governor at WATTS in experiments"
              " that support it (implies tenant metering)")
     parser.add_argument(
+        "--cancel", action="store_true",
+        help="arm the repro.cancel cancellation + retry-budget layer in"
+             " experiments that support it (chaos)")
+    parser.add_argument(
         "--trace", metavar="PATH",
         help="record an invocation-lifecycle trace to PATH"
              " (Chrome trace-event JSON, loadable in Perfetto)")
@@ -614,7 +620,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     elapsed = _run_one(key, quick=not args.full,
                                        seed=args.seed, chart=args.chart,
                                        ha=args.ha, tenancy=args.tenancy,
-                                       power_cap=args.power_cap)
+                                       power_cap=args.power_cap,
+                                       cancel=args.cancel)
                     violated = _new_violations(seen) if verifier else ""
                     if violated:
                         outcomes.append(
@@ -636,7 +643,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             try:
                 _run_one(args.experiment, quick=not args.full,
                          seed=args.seed, chart=args.chart, ha=args.ha,
-                         tenancy=args.tenancy, power_cap=args.power_cap)
+                         tenancy=args.tenancy, power_cap=args.power_cap,
+                         cancel=args.cancel)
                 status = 0
                 if verifier is not None and verifier.violations:
                     print(f"[{args.experiment} FAILED invariants:"

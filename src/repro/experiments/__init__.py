@@ -50,4 +50,5 @@ EXPERIMENTS = {
     "partition": "repro.experiments.partition",
     "tenancy": "repro.experiments.tenancy",
     "fuzzsmoke": "repro.experiments.fuzz_smoke",
+    "retrystorm": "repro.experiments.retrystorm",
 }

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     make_load_trace,
     run_three_systems,
 )
+from repro.cancel import CancelConfig
 from repro.faults import FaultPlan
 from repro.ha import HAConfig
 from repro.platform.cluster import ClusterConfig
@@ -44,11 +45,13 @@ def default_policy() -> ReliabilityPolicy:
                              backoff_multiplier=2.0, backoff_jitter=0.1)
 
 
-def run(quick: bool = True, seed: int = 0,
-        ha: bool = False) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, ha: bool = False,
+        cancel: bool = False) -> ExperimentResult:
     """``ha=True`` (the CLI's ``--ha``) additionally arms the ``repro.ha``
     layer, so crashed nodes are suspected and sidestepped by dispatch
-    instead of only being retried around."""
+    instead of only being retried around. ``cancel=True`` (``--cancel``)
+    arms the ``repro.cancel`` layer: doomed attempts are killed at their
+    doom line and retries draw from the cluster-wide budget."""
     result = ExperimentResult(
         "Chaos",
         "Energy, tail latency, and recovery under a calibrated fault mix")
@@ -60,7 +63,8 @@ def run(quick: bool = True, seed: int = 0,
         functions=all_function_names(), seed=seed)
     config = ClusterConfig(n_servers=n_servers, seed=seed,
                            drain_s=30.0, reliability=default_policy(),
-                           ha=HAConfig() if ha else None)
+                           ha=HAConfig() if ha else None,
+                           cancel=CancelConfig.full() if cancel else None)
     clusters = run_three_systems(trace, config, fault_plan=plan)
 
     for name in SYSTEM_ORDER:
@@ -83,6 +87,10 @@ def run(quick: bool = True, seed: int = 0,
             jobs_lost=lost,
             redispatched_pct=round(redispatched_pct, 1),
             mttr_s=round(metrics.mttr_s(), 2),
+            **({"cancelled": metrics.cancelled_attempts,
+                "doomed_wf": metrics.doomed_workflows,
+                "budget_denials": metrics.retry_budget_denials}
+               if cancel else {}),
         )
 
     result.note(f"fault plan: {plan.count()} events"
@@ -91,8 +99,14 @@ def run(quick: bool = True, seed: int = 0,
                 f" {plan.count('rpc_spike')} RPC spikes,"
                 f" {plan.count('dvfs_stall')} DVFS stalls)"
                 f" over {duration:.0f}s x {n_servers} servers")
-    result.note("redispatched_pct must be 100: every job lost to a crash"
-                " is re-run to completion by the frontend's retry loop")
+    if cancel:
+        result.note("repro.cancel armed: doomed invocations are written"
+                    " off at their doom line instead of re-dispatched,"
+                    " so redispatched_pct < 100 is expected here")
+    else:
+        result.note("redispatched_pct must be 100: every job lost to a"
+                    " crash is re-run to completion by the frontend's"
+                    " retry loop")
     result.note("faults are opt-in: with no plan armed, every other"
                 " experiment's output is bit-identical to a fault-free"
                 " build")

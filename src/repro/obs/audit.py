@@ -38,6 +38,8 @@ KINDS = (
     "ha_redispatch",   # ha: in-flight work resubmitted elsewhere
     "tenant_throttle", # tenancy: over-budget tenant shed or throttled
     "power_cap_step",  # tenancy: governor moved the actuation ladder
+    "workflow_doomed", # cancel: a chain was written off past its doom line
+    "retry_budget_exhausted",  # cancel: a retry was denied by the budget
 )
 
 

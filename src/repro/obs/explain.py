@@ -10,7 +10,8 @@ Joins the three observability artifacts —
 concrete causes: seconds queued per pool (with the retune decision that
 shrank it, when the audit log has one), cold-start boots, block-phase
 holds, energy burned by aborted/abandoned retry attempts, breaker
-fast-fails, and HA redispatches.
+fast-fails, HA redispatches, doom-line cancellations, and retry-budget
+denials.
 
 Everything operates on the exported files, not live tracer objects, so
 ``repro explain`` works on any trace produced earlier (and in CI).
@@ -142,7 +143,7 @@ def missed_workflows(data: ExplainData, run: Optional[int] = None
         if span.cat != "workflow" or (run is not None and span.run != run):
             continue
         status = span.args.get("status")
-        if status == "failed":
+        if status in ("failed", "doomed"):
             candidates.append(span)
         elif status == "completed" and not span.args.get("met_slo", True):
             candidates.append(span)
@@ -222,6 +223,15 @@ def explain(data: ExplainData, workflow_uid: int,
             block_s, "block",
             f"blocked {block_s:.2f}s on external calls"))
 
+    # Cancelled attempts: doomed work the cancel layer killed early.
+    killed = [s for s in jobs if s.args.get("status") == "cancelled"]
+    if killed:
+        joules = sum(float(s.args.get("energy_j", 0.0)) for s in killed)
+        causes.append(Cause(
+            0.5 * len(killed), "cancelled",
+            f"{len(killed)} attempt{'s' if len(killed) != 1 else ''}"
+            f" cancelled by the doom line after burning {joules:.1f} J"))
+
     # Wasted attempts: aborted/abandoned jobs of this workflow.
     wasted = [s for s in jobs
               if s.args.get("status") == "aborted"
@@ -295,6 +305,38 @@ def explain(data: ExplainData, workflow_uid: int,
             f" {len(tightens)} tightening"
             f" step{'s' if len(tightens) != 1 else ''} under a"
             f" {last.get('cap_w', 0):.0f} W cap{ceiling_text}"))
+
+    # The cancel layer wrote this workflow off past its doom line.
+    doomed = [i for i in data.instants
+              if i["run"] == run and i["name"] == "workflow_doomed"
+              and i["args"].get("workflow") == workflow_uid]
+    for inst in doomed:
+        causes.append(Cause(
+            2.0, "doomed",
+            f"workflow doomed at t={inst['t']:.2f}s"
+            f" (stage {inst['args'].get('stage', '?')},"
+            f" cause: {inst['args'].get('cause', '?')}) — its doom line"
+            f" passed and the remaining chain was written off"))
+
+    # Queued attempts of this workflow dropped at dispatch as unmeetable.
+    drops = [i for i in in_window if i["name"] == "doomed_drop"
+             and i["args"].get("job") in job_uids]
+    if drops:
+        causes.append(Cause(
+            0.8 * len(drops), "doomed",
+            f"{len(drops)} queued attempt{'s' if len(drops) != 1 else ''}"
+            f" dropped at dispatch: remaining work could not fit before"
+            f" the doom line"))
+
+    # Retries denied to this workflow's functions by the cluster budget.
+    denials = [i for i in in_window
+               if i["name"] == "retry_budget_exhausted"
+               and i["args"].get("function") in functions]
+    if denials:
+        causes.append(Cause(
+            0.6 * len(denials), "retry_budget",
+            f"{len(denials)} retr{'ies' if len(denials) != 1 else 'y'}"
+            f" denied: the cluster-wide retry budget was exhausted"))
 
     # HA redispatches keyed by this workflow's uid.
     prefix = f"({workflow_uid},"

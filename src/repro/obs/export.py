@@ -217,6 +217,8 @@ def epoch_rows(tracer: Tracer, epoch_s: float = 2.0) -> List[Dict[str, Any]]:
             "ha_fenced": 0, "ha_frozen": 0,
             "slo_fast_burns": 0, "slo_slow_burns": 0,
             "tenant_throttles": 0, "power_cap_steps": 0,
+            "cancels": 0, "doomed_drops": 0, "workflows_doomed": 0,
+            "retry_budget_denials": 0, "retry_budget_refunds": 0,
             "mean_power_w": float("nan"), "mean_outstanding": float("nan"),
         } for e in range(n_epochs)]
         if 0.0 < end < n_epochs * epoch_s - 1e-9:

@@ -8,7 +8,7 @@ classifies each entry into the component taxonomy of
 :data:`repro.obs.registry.LEDGER_COMPONENTS`:
 
 ``run``, ``block``, ``cold_start``, ``idle``, ``freq_switch``,
-``retry_waste``, ``shed``, ``static``.
+``retry_waste``, ``cancelled``, ``doomed``, ``shed``, ``static``.
 
 Classification is retrospective: whether an active segment was
 productive work, a retry that later lost its race, or effort for a
@@ -154,14 +154,16 @@ class EnergyLedger:
         not sum to ``cluster.total_energy_j`` within the tolerance.
         """
         run = self._run
-        shed_uids = self._failed_workflow_jobs(run)
+        shed_uids = self._workflow_jobs(run, "failed")
+        doomed_uids = self._workflow_jobs(run, "doomed")
         ledger_j = 0.0
         by_component = {c: 0.0 for c in LEDGER_COMPONENTS}
         for entry in self.entries:
             if entry.run != run:
                 continue
             if entry.component is None:
-                entry.component = self._classify(entry, shed_uids)
+                entry.component = self._classify(entry, shed_uids,
+                                                 doomed_uids)
                 entry.job = None
             ledger_j += entry.joules
             by_component[entry.component] += entry.joules
@@ -183,24 +185,34 @@ class EnergyLedger:
                 f" > {self.TOLERANCE:g})")
         return report
 
-    def _failed_workflow_jobs(self, run: int) -> set:
-        """Job uids whose workflow ultimately failed (→ shed work)."""
+    def _workflow_jobs(self, run: int, status: str) -> set:
+        """Job uids of workflows that ended with ``status``.
+
+        ``failed`` → shed work; ``doomed`` (repro.cancel wrote the chain
+        off mid-flight) → the ``doomed`` bucket.
+        """
         if self.tracer is None:
             return set()
-        failed = {span.uid for span in self.tracer.spans
-                  if span.kind == "workflow" and span.run == run
-                  and span.args.get("status") == "failed"}
-        if not failed:
+        matched = {span.uid for span in self.tracer.spans
+                   if span.kind == "workflow" and span.run == run
+                   and span.args.get("status") == status}
+        if not matched:
             return set()
         return {job for (r, wf, job) in self.tracer.wf_links
-                if r == run and wf in failed}
+                if r == run and wf in matched}
 
     @staticmethod
-    def _classify(entry: LedgerEntry, shed_uids: set) -> str:
+    def _classify(entry: LedgerEntry, shed_uids: set,
+                  doomed_uids: set) -> str:
         direct = _DIRECT.get(entry.raw)
         if direct is not None:
             return direct
         job = entry.job
+        if job is not None and getattr(job, "cancelled", False):
+            # Killed by the cancel layer: these joules were already
+            # burned when the kill landed (the reclaimed remainder never
+            # becomes an entry at all).
+            return "cancelled"
         wasted = job is not None and (getattr(job, "aborted", False)
                                       or getattr(job, "abandoned", False))
         if wasted:
@@ -208,6 +220,8 @@ class EnergyLedger:
         if entry.raw == "active_setup" or (
                 job is not None and getattr(job, "is_prewarm", False)):
             return "cold_start"
+        if entry.uid is not None and entry.uid in doomed_uids:
+            return "doomed"
         if entry.uid is not None and entry.uid in shed_uids:
             return "shed"
         return "run"

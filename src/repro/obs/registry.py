@@ -37,6 +37,11 @@ EPOCH_INSTANT_COLUMNS = {
     "slo_burn_slow": "slo_slow_burns",
     "tenant_throttle": "tenant_throttles",
     "power_cap_step": "power_cap_steps",
+    "cancel": "cancels",
+    "doomed_drop": "doomed_drops",
+    "workflow_doomed": "workflows_doomed",
+    "retry_budget_exhausted": "retry_budget_denials",
+    "retry_budget_refund": "retry_budget_refunds",
 }
 
 #: The ledger's component taxonomy: every metered joule lands in exactly
@@ -48,6 +53,8 @@ LEDGER_COMPONENTS = (
     "idle",         # unheld idle cores
     "freq_switch",  # DVFS transition stalls and idle retunes
     "retry_waste",  # attempts later aborted or abandoned (wasted work)
+    "cancelled",    # joules already burned by attempts the cancel layer killed
+    "doomed",       # completed work inside workflows doomed mid-chain
     "shed",         # work executed for workflows that ultimately failed
     "static",       # background uncore + DRAM standby power
 )
@@ -72,6 +79,7 @@ PROFILE_COMPONENTS = (
     ("obs.ledger", "energy-ledger entry recording and run close"),
     ("obs.audit", "decision audit record construction"),
     ("guard", "admission, breaker, and prediction-sanity checks"),
+    ("cancel", "doom checks, cooperative kills, and retry budgeting"),
     ("ha", "membership checks and dispatch fencing"),
     ("tenancy", "tenant meter polling and budget checks"),
 )

@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cancel.config import CancelConfig
+from repro.cancel.runtime import CancelRuntime
 from repro.guard.config import GuardConfig
 from repro.guard.runtime import GuardRuntime
 from repro.ha.config import HAConfig
@@ -63,6 +65,10 @@ class ClusterConfig:
     #: power-cap governor, billing. None = the original code paths,
     #: byte-for-byte.
     tenancy: Optional[TenancyConfig] = None
+    #: Cancellation & retry budgets (repro.cancel): deadline-propagating
+    #: doom checks, cooperative kills, cluster-wide retry tokens. None =
+    #: the original code paths, byte-for-byte.
+    cancel: Optional[CancelConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -121,6 +127,13 @@ class Cluster:
                     " ClusterConfig.reliability alongside ClusterConfig.ha")
             self.ha = HARuntime(self, self.config.ha)
             self.ha.arm()
+        #: Armed cancellation runtime (repro.cancel), when a CancelConfig
+        #: was given.
+        self.cancel: Optional[CancelRuntime] = None
+        if self.config.cancel is not None:
+            self.cancel = CancelRuntime(self, self.config.cancel)
+            env.cancel = self.cancel
+            self.cancel.arm()
         self._rr_index = 0
         #: Workflows in flight (for drain diagnostics).
         self.inflight = 0
@@ -202,12 +215,25 @@ class Cluster:
         deadlines = self.system.function_deadlines(workflow, arrival_s, slo_s)
         self.system.on_workflow_arrival(self, workflow, arrival_s, deadlines)
         policy = self.config.reliability
+        cancel = self.cancel
+        doom_deadline = (cancel.doom_deadline(arrival_s, slo_s)
+                         if cancel is not None else None)
         self.inflight += 1
         wf_uid = next(self._wf_ids)
         self.env.trace.workflow_begin(wf_uid, workflow.name, slo_s=slo_s)
         failed = False
         try:
             for stage_index, stage in enumerate(workflow.stages):
+                if (cancel is not None and stage_index > 0
+                        and cancel.stage_doomed(doom_deadline)):
+                    # Deadline propagation: the doom line passed while an
+                    # earlier stage ran, so the rest of the chain cannot
+                    # help the SLO — stop here instead of burning joules.
+                    cancel.note_workflow_doomed(
+                        workflow.name, wf_uid, stage_index,
+                        cause="stage_boundary")
+                    failed = True
+                    break
                 waits = []
                 for fn_index, fn_model in enumerate(stage.functions):
                     spec = fn_model.sample_invocation(
@@ -220,6 +246,8 @@ class Cluster:
                         job = node.submit(
                             fn_model, spec, deadline, workflow.name,
                             seniority_time_s=arrival_s)
+                        if cancel is not None:
+                            cancel.tag_job(job, doom_deadline)
                         self.env.trace.link(wf_uid, job.job_id)
                         waits.append(job.done)
                     else:
@@ -228,7 +256,8 @@ class Cluster:
                         waits.append(self.env.process(
                             self._invoke_reliably(
                                 fn_model, spec, deadline, workflow.name,
-                                arrival_s, idem_key, wf_uid),
+                                arrival_s, idem_key, wf_uid,
+                                doom_deadline_s=doom_deadline),
                             name=f"invoke-{fn_model.name}"))
                 yield self.env.all_of(waits)
                 if policy is not None and any(p.value is None for p in waits):
@@ -236,9 +265,28 @@ class Cluster:
                     # produce its result, so later stages never run.
                     failed = True
                     break
+                if cancel is not None and any(
+                        getattr(w.value, "cancelled", False) for w in waits):
+                    # A direct-dispatch invocation was doomed-dropped at
+                    # dequeue: the chain has no result to continue with.
+                    cancel.note_workflow_doomed(
+                        workflow.name, wf_uid, stage_index,
+                        cause="invocation_cancelled")
+                    failed = True
+                    break
             if failed:
-                self.metrics.record_workflow_failure(workflow.name)
-                self.env.trace.workflow_end(wf_uid, "failed", slo_s=slo_s)
+                if (cancel is not None
+                        and cancel.workflow_was_doomed(wf_uid)):
+                    # Doomed is a sub-case of failed (the lifecycle
+                    # equation still balances); the distinct trace status
+                    # routes its completed work to the ledger's ``doomed``
+                    # bucket.
+                    self.env.trace.workflow_end(wf_uid, "doomed",
+                                                slo_s=slo_s)
+                else:
+                    self.metrics.record_workflow_failure(workflow.name)
+                    self.env.trace.workflow_end(wf_uid, "failed",
+                                                slo_s=slo_s)
             else:
                 latency_s = self.env.now - arrival_s
                 self.metrics.record_workflow(
@@ -253,17 +301,28 @@ class Cluster:
     # ------------------------------------------------------------------
     # Reliability layer (repro.faults)
     # ------------------------------------------------------------------
-    def _await_up_node(self, exclude: Optional[NodeSystem] = None):
-        """Yield until some node is up, then return it (generator helper)."""
+    def _await_up_node(self, exclude: Optional[NodeSystem] = None,
+                       deadline_s: Optional[float] = None):
+        """Yield until some node is up, then return it (generator helper).
+
+        ``deadline_s`` bounds the wait: during a full-cluster outage the
+        loop used to poll unbounded even when the invocation's deadline
+        had already passed; once the deadline is unmeetable it now
+        returns None and the caller writes the invocation off instead of
+        burning poll wake-ups on work that cannot succeed.
+        """
         while True:
             node = self.pick_node(exclude)
             if node is not None:
                 return node
+            if deadline_s is not None and self.env.now >= deadline_s - 1e-9:
+                return None
             yield self.env.timeout(ALL_DOWN_POLL_S)
 
     def _invoke_reliably(self, fn_model, spec, deadline_s: Optional[float],
                          benchmark: str, arrival_s: float,
-                         idem_key=None, wf_uid: Optional[int] = None):
+                         idem_key=None, wf_uid: Optional[int] = None,
+                         doom_deadline_s: Optional[float] = None):
         """Shepherd one invocation to completion under the policy.
 
         Submits a pristine clone of ``spec`` per attempt (work units are
@@ -285,8 +344,11 @@ class Cluster:
         policy = self.config.reliability
         guard = self.guard
         ha = self.ha
+        cancel = self.cancel
         if ha is not None:
             ha.register_dispatch(idem_key)
+        if cancel is not None:
+            cancel.note_first_attempt()
         attempt = 0
         lost_to_crash_here = 0
         while True:
@@ -299,6 +361,28 @@ class Cluster:
                                        attempts=attempt, fast_fail=True)
                 return None
             if attempt > 0:
+                if cancel is not None and cancel.retry_doomed(doom_deadline_s):
+                    # Retrying cannot beat the doom line anymore: write
+                    # the invocation off before it burns another attempt.
+                    if wf_uid is not None:
+                        cancel.note_workflow_doomed(
+                            benchmark, wf_uid, -1, cause="retry_doomed")
+                    self.metrics.lost_invocations += 1
+                    self.env.trace.instant("invocation_lost", "frontend",
+                                           function=fn_model.name,
+                                           attempts=attempt, doomed=True)
+                    return None
+                if cancel is not None and not cancel.allow_retry(
+                        fn_model.name, attempt):
+                    # The cluster-wide retry budget is spent: dropping
+                    # this retry is what keeps per-invocation policies
+                    # from compounding into a retry storm.
+                    self.metrics.lost_invocations += 1
+                    self.env.trace.instant("invocation_lost", "frontend",
+                                           function=fn_model.name,
+                                           attempts=attempt,
+                                           budget_exhausted=True)
+                    return None
                 self.metrics.record_retry()
                 self.env.trace.instant("retry", "frontend",
                                        function=fn_model.name,
@@ -310,10 +394,38 @@ class Cluster:
                 backoff = policy.backoff_s(attempt, draw)
                 if backoff > 0:
                     yield self.env.timeout(backoff)
-            node = yield from self._await_up_node()
+                if cancel is not None and cancel.retry_doomed(doom_deadline_s):
+                    # The doom line passed during backoff: the granted
+                    # token never dispatched, so retire it and give up.
+                    cancel.refund_retry(fn_model.name)
+                    if wf_uid is not None:
+                        cancel.note_workflow_doomed(
+                            benchmark, wf_uid, -1, cause="retry_doomed")
+                    self.metrics.lost_invocations += 1
+                    self.env.trace.instant("invocation_lost", "frontend",
+                                           function=fn_model.name,
+                                           attempts=attempt, doomed=True)
+                    return None
+            bail_s = doom_deadline_s if doom_deadline_s is not None \
+                else deadline_s
+            node = yield from self._await_up_node(deadline_s=bail_s)
+            if node is None:
+                # Full-cluster outage outlived the deadline: no node came
+                # back while the invocation could still succeed, so stop
+                # polling instead of spinning on work that cannot win.
+                if cancel is not None and attempt > 0:
+                    cancel.refund_retry(fn_model.name)
+                self.metrics.lost_invocations += 1
+                self.env.trace.instant("invocation_lost", "frontend",
+                                       function=fn_model.name,
+                                       attempts=attempt,
+                                       deadline_passed=True)
+                return None
             job = node.submit(fn_model, spec.clone(), deadline_s, benchmark,
                               seniority_time_s=arrival_s)
             job.attempt = attempt
+            if cancel is not None:
+                cancel.tag_job(job, doom_deadline_s)
             if wf_uid is not None:
                 self.env.trace.link(wf_uid, job.job_id)
             if ha is not None:
@@ -347,8 +459,16 @@ class Cluster:
                                    and ha.result_visible(j)), None)
                 if winner is not None:
                     for other in jobs:
-                        if other is not winner and not other.aborted:
-                            other.abandoned = True
+                        if (other is not winner and not other.aborted
+                                and not other.cancelled):
+                            if cancel is not None and cancel.cancels_hedges:
+                                # The race is decided: kill the losers and
+                                # reclaim their remaining energy instead
+                                # of letting them run to completion.
+                                cancel.cancel_attempt(other,
+                                                      reason="hedge_loser")
+                            else:
+                                other.abandoned = True
                     if ha is not None:
                         ha.record_completion(idem_key, jobs, winner)
                     lost_to_crash_here += sum(1 for j in jobs if j.aborted)
@@ -362,12 +482,33 @@ class Cluster:
                     lost_to_crash_here += len(jobs)
                     attempt_failed = True
                     break
+                if cancel is not None and any(j.cancelled for j in jobs):
+                    # The platform declared this work doomed (a dequeue
+                    # drop): no sibling or retry can beat the doom line
+                    # either, so kill the survivors and give up for good.
+                    for j in jobs:
+                        if not (j.aborted or j.cancelled or j.finished):
+                            cancel.cancel_attempt(j, reason="doomed_sibling")
+                    if wf_uid is not None:
+                        cancel.note_workflow_doomed(
+                            benchmark, wf_uid, -1, cause="dequeue_doomed")
+                    self.metrics.lost_invocations += 1
+                    self.env.trace.instant("invocation_lost", "frontend",
+                                           function=fn_model.name,
+                                           attempts=attempt + 1, doomed=True)
+                    return None
                 if timeout_ev is not None and timeout_ev.processed:
-                    # Written off: surviving attempts keep running, but
-                    # their outcome is wasted work now.
+                    # Written off: with the cancel layer armed the
+                    # survivors are killed (their remaining energy is
+                    # reclaimed); otherwise they keep running and their
+                    # outcome is wasted work.
                     for j in jobs:
                         if not j.aborted:
-                            j.abandoned = True
+                            if (cancel is not None
+                                    and cancel.cancels_timeouts):
+                                cancel.cancel_attempt(j, reason="timeout")
+                            else:
+                                j.abandoned = True
                     lost_to_crash_here += sum(1 for j in jobs if j.aborted)
                     self.metrics.record_timeout()
                     self.env.trace.instant("invocation_timeout", "frontend",
@@ -385,6 +526,8 @@ class Cluster:
                             fn_model, spec.clone(), deadline_s, benchmark,
                             seniority_time_s=arrival_s)
                         duplicate.attempt = attempt
+                        if cancel is not None:
+                            cancel.tag_job(duplicate, doom_deadline_s)
                         if wf_uid is not None:
                             self.env.trace.link(wf_uid, duplicate.job_id)
                         if ha is not None:
@@ -403,6 +546,8 @@ class Cluster:
                             fn_model, spec.clone(), deadline_s, benchmark,
                             seniority_time_s=arrival_s)
                         duplicate.attempt = attempt
+                        if cancel is not None:
+                            cancel.tag_job(duplicate, doom_deadline_s)
                         if wf_uid is not None:
                             self.env.trace.link(wf_uid, duplicate.job_id)
                         duplicate.ha_node = target

@@ -66,6 +66,14 @@ class Job:
         #: timeout, or it lost a hedge race) while it keeps executing; its
         #: completion is wasted work charged to retry energy.
         self.abandoned = False
+        #: Set when the cancellation layer (repro.cancel) killed this
+        #: attempt: unlike ``abandoned`` it stops executing — the pool
+        #: removed it — and its remaining energy is reclaimed. Always
+        #: False when no CancelConfig is armed.
+        self.cancelled = False
+        #: Absolute doom line attached by repro.cancel (workflow SLO
+        #: deadline + slack). None = never doom-checked.
+        self.doom_deadline_s: Optional[float] = None
         #: Retry attempt index assigned by the reliability layer (0 = the
         #: first try).
         self.attempt = 0
@@ -246,6 +254,11 @@ class Job:
             raise RuntimeError(f"{self!r} was aborted; it cannot complete")
         if not self.is_complete:
             raise RuntimeError(f"{self!r} has segments left")
+        if self.env.verify.enabled:
+            # Cancelled work must never run to completion; deliberately
+            # not an exception so the verifier (not a crash) reports a
+            # cancel-leak as a first-class invariant violation.
+            self.env.verify.on_job_complete(self)
         self.completion_time = self.env.now
         if self.env.trace.enabled:
             self.env.trace.invocation_end(
@@ -273,6 +286,27 @@ class Job:
             # Idempotent like abort itself: a duplicate end is ignored.
             self.env.trace.invocation_end(
                 self.job_id, "aborted",
+                t_queue=self.t_queue, t_run=self.t_run,
+                t_block=self.t_block, energy_j=self.energy_j,
+                cold_start=self.cold_start, prewarm=self.is_prewarm,
+                attempt=self.attempt)
+        if not self.done.triggered:
+            self.done.succeed(self)
+
+    def cancel(self) -> None:
+        """Kill this attempt deliberately (repro.cancel): it is doomed.
+
+        Same contract as :meth:`abort` — the ``done`` event fires with
+        the job as payload so waiting loops wake, and ``finished`` stays
+        False — but the distinct flag keeps crash losses and deliberate
+        kills separable in metrics and the energy ledger. Idempotent.
+        """
+        if self.finished:
+            raise RuntimeError(f"{self!r} already finished; cannot cancel")
+        self.cancelled = True
+        if self.env.trace.enabled:
+            self.env.trace.invocation_end(
+                self.job_id, "cancelled",
                 t_queue=self.t_queue, t_run=self.t_run,
                 t_block=self.t_block, energy_j=self.energy_j,
                 cold_start=self.cold_start, prewarm=self.is_prewarm,

@@ -189,6 +189,27 @@ class MetricsCollector:
         #: Actuation steps that released the ladder (draw under the
         #: release threshold).
         self.power_cap_releases = 0
+        # Cancellation counters (repro.cancel). All stay zero without a
+        # CancelConfig.
+        #: In-flight attempts the cancel layer killed (hedged losers,
+        #: timed-out attempts, doomed siblings, dequeue drops).
+        self.cancelled_attempts = 0
+        #: Joules those attempts had already burned when killed (charged
+        #: work — the ledger's ``cancelled`` bucket).
+        self.cancelled_energy_j = 0.0
+        #: Estimated run-seconds reclaimed by killing them early (oracle
+        #: remaining work at the top frequency).
+        self.cancelled_reclaimed_s = 0.0
+        #: Queued jobs dropped at dispatch because their remaining work
+        #: could no longer fit before the doom line.
+        self.doomed_drops = 0
+        #: Workflows written off mid-chain once their doom line passed
+        #: (a sub-count of ``failed_workflows``).
+        self.doomed_workflows = 0
+        #: Retries denied because the cluster-wide token window was spent.
+        self.retry_budget_denials = 0
+        #: Retry tokens retired because the granted retry never dispatched.
+        self.retry_budget_refunds = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -234,6 +255,16 @@ class MetricsCollector:
 
     def record_workflow_failure(self, benchmark: str) -> None:
         self.failed_workflows += 1
+        self.record_failure(f"workflow:{benchmark}")
+
+    def record_workflow_doomed(self, benchmark: str) -> None:
+        """A workflow was written off as doomed (repro.cancel).
+
+        Doomed is a sub-case of failed — it counts into both, so the
+        lifecycle-conservation equation is unchanged by the cancel layer.
+        """
+        self.failed_workflows += 1
+        self.doomed_workflows += 1
         self.record_failure(f"workflow:{benchmark}")
 
     def record_shed(self, benchmark: str, reason: str) -> None:

@@ -301,6 +301,51 @@ class CorePoolScheduler:
             job.abort()
         return lost
 
+    def cancel_job(self, job: Job) -> bool:
+        """Remove one job from this pool and mark it cancelled.
+
+        The targeted counterpart of :meth:`abort_all` (repro.cancel):
+        covers all three residences — queued (dropped from the ready
+        heap), running (its core is preempted and freed), and blocked
+        (removed from the books; the pending wake timer finds the
+        cancelled flag and ignores it). EWT bookkeeping is released like
+        a completion. Returns False when the job is not in this pool.
+        """
+        if job.finished or job.aborted or job.cancelled:
+            return False
+        for index, (_, queued) in enumerate(self._ready):
+            if queued is job:
+                self._ready.pop(index)
+                heapq.heapify(self._ready)
+                self._ewt_s -= self._ewt_amounts.pop(job.job_id, 0.0)
+                self._t_run_at_dispatch.pop(job.job_id, None)
+                job.cancel()
+                return True
+        for core_id, running in list(self._running.items()):
+            if running is job:
+                core = next(c for c in self._cores if c.core_id == core_id)
+                del self._running[core_id]
+                core.preempt()
+                self._consume_ewt(job)
+                self._ewt_s -= self._ewt_amounts.pop(job.job_id, 0.0)
+                job.cancel()
+                self._core_freed(core)
+                return True
+        if job.job_id in self._blocked_jobs:
+            del self._blocked_jobs[job.job_id]
+            self._ewt_s -= self._ewt_amounts.pop(job.job_id, 0.0)
+            self._t_run_at_dispatch.pop(job.job_id, None)
+            core = next((c for c in self._cores if c.blocked_hold is job),
+                        None)
+            job.cancel()
+            if core is not None:
+                # Run-to-completion mode held the core through the block;
+                # release it now instead of at the ignored wake-up.
+                core.blocked_hold = None
+                self._core_freed(core)
+            return True
+        return False
+
     # ------------------------------------------------------------------
     # Dispatch machinery
     # ------------------------------------------------------------------
@@ -311,7 +356,17 @@ class CorePoolScheduler:
 
     def _dispatch(self) -> None:
         while self._ready:
-            core = self._pick_core(self._ready[0][1])
+            head = self._ready[0][1]
+            cancel = self.env.cancel
+            if (cancel is not None and not head.cancelled
+                    and cancel.dequeue_doomed(head, self.frequency_ghz)
+                    and self.cancel_job(head)):
+                # Doomed at dequeue (repro.cancel): its remaining work
+                # cannot fit before the doom line, so dispatching it
+                # would only burn joules.
+                cancel.note_doomed_drop(head, self.name)
+                continue
+            core = self._pick_core(head)
             if core is None:
                 return
             _, job = heapq.heappop(self._ready)
@@ -425,9 +480,9 @@ class CorePoolScheduler:
                    on_complete=self._on_core_done, sink=job)
 
     def _unblock_requeue(self, job: Job) -> None:
-        if job.aborted:
-            # The node crashed while this job was blocked; abort_all()
-            # already removed it from the pool's books.
+        if job.aborted or job.cancelled:
+            # The node crashed (or the cancel layer killed the job) while
+            # it was blocked; it is already off the pool's books.
             return
         del self._blocked_jobs[job.job_id]
         job.skip_block()
@@ -436,7 +491,7 @@ class CorePoolScheduler:
         self._dispatch()
 
     def _unblock_resume(self, core: Core, job: Job) -> None:
-        if job.aborted:
+        if job.aborted or job.cancelled:
             return
         del self._blocked_jobs[job.job_id]
         job.skip_block()

@@ -82,6 +82,24 @@ class NodeSystem(abc.ABC):
         """
         return ()
 
+    def cancel_job(self, job: Job) -> bool:
+        """Cancel one in-flight job on this node (repro.cancel).
+
+        Tries each core pool, then the cold-start waiting room (jobs
+        parked on an in-flight container boot live in neither pool).
+        Returns False when the job is not on this node — node models
+        without pool structure always decline, and the runtime falls
+        back to write-off (``abandoned``) semantics.
+        """
+        for pool in self.iter_pools():
+            if pool.cancel_job(job):
+                return True
+        waiting = self._awaiting_container.pop(job.job_id, None)
+        if waiting is not None:
+            waiting.cancel()
+            return True
+        return False
+
     def finalize(self) -> None:
         """Flush all energy accounting (end of run)."""
         self.server.finalize()
@@ -251,7 +269,7 @@ class NodeSystem(abc.ABC):
         injected neither branch ever triggers and the event ordering is
         identical to the original plumbing.
         """
-        if job.aborted:
+        if job.aborted or job.cancelled:
             return
         wait = self._attach_container(fn_model, job, stream_name)
         if wait is None:
@@ -267,7 +285,7 @@ class NodeSystem(abc.ABC):
                              dispatch: Callable[[FunctionModel, Job], None]
                              ) -> None:
         self._awaiting_container.pop(job.job_id, None)
-        if job.aborted:
+        if job.aborted or job.cancelled:
             return
         if event.value is None:
             # The cold start this job was waiting on was killed: re-resolve.

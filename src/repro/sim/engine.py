@@ -54,6 +54,11 @@ class Environment:
         #: clamps on the pre-tenancy code path; a cluster built with a
         #: TenancyConfig installs its TenancyRuntime here.
         self.tenancy = None
+        #: Cancellation hook (repro.cancel). None keeps doom checks,
+        #: cooperative cancellation, and the retry budget on the
+        #: pre-cancel code path; a cluster built with a CancelConfig
+        #: installs its CancelRuntime here.
+        self.cancel = None
         #: Self-profiling hook (repro.obs.prof). The shared null profiler
         #: makes the kernel-counter and scoped-timer points no-ops;
         #: ``Profiler.bind(env)`` swaps in a recording profiler. A bound

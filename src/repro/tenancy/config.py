@@ -102,6 +102,8 @@ class PricingModel:
         ("idle", 0.06),
         ("freq_switch", 0.06),
         ("retry_waste", 0.40),
+        ("cancelled", 0.40),
+        ("doomed", 0.40),
         ("shed", 0.40),
         ("static", 0.04),
     )

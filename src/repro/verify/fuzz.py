@@ -2,14 +2,16 @@
 
 The fuzzer behind ``repro fuzz``: each trial draws a random — but fully
 seeded — *trial spec* (cluster shape, Poisson load with an optional
-overload burst, guard/HA/tenancy config draws, and a fault schedule
-composing every fault kind), runs it with every invariant monitor armed
+overload burst, guard/HA/tenancy/cancel config draws, and a fault
+schedule composing every fault kind), runs it with every invariant
+monitor armed
 plus the energy ledger's conservation check, and records any violation.
 
 A violating spec is then **shrunk**: classic ddmin over the fault
 events (does half the schedule still violate?), then per-event
 parameter simplification, then config-section drops (burst, admission,
-tenancy, hedging), then run-length truncation — each candidate accepted
+tenancy, cancel, hedging), then run-length truncation — each candidate
+accepted
 only if it still reproduces the original violation signature (the set
 of violated invariant names). The result is a minimal, self-contained
 JSON artifact; ``repro fuzz --replay <artifact>`` re-executes it and
@@ -33,6 +35,11 @@ import numpy as np
 
 from repro import obs, verify
 from repro.baselines import BaselineSystem
+from repro.cancel.config import (
+    CancelConfig,
+    DeadlineConfig,
+    RetryBudgetConfig,
+)
 from repro.core import EcoFaaSSystem
 from repro.core.config import EcoFaaSConfig
 from repro.experiments.common import run_cluster
@@ -216,6 +223,24 @@ def sample_spec(trial: int, seed: int) -> Dict[str, object]:
         }
     spec["plan"] = _sample_plan(
         rng, duration_s, n_servers, _function_names(benchmarks), with_ha)
+    # The cancel section draws from its own stream so every pre-existing
+    # draw above (and thus every pinned seed/trial outcome that does not
+    # depend on cancellation) is untouched by its addition.
+    crng = np.random.default_rng(np.random.SeedSequence(
+        [seed, trial, stable_hash("verify/fuzz/cancel")]))
+    spec["cancel"] = None
+    if crng.random() < 0.6:
+        deadline = ({
+            "slack_s": round(float(crng.uniform(0.0, 0.5)), 3),
+        } if crng.random() < 0.8 else None)
+        retry_budget = ({
+            "ratio": round(float(crng.uniform(0.05, 0.3)), 3),
+            "window_s": round(float(crng.uniform(2.0, 6.0)), 3),
+            "floor": int(crng.integers(1, 6)),
+        } if crng.random() < 0.7 else None)
+        if deadline is not None or retry_budget is not None:
+            spec["cancel"] = {"deadline": deadline,
+                              "retry_budget": retry_budget}
     return spec
 
 
@@ -304,10 +329,27 @@ def _build_config(spec: Dict[str, object]) -> ClusterConfig:
             power_cap = PowerCapConfig(cap_w=float(p["cap_w"]),
                                        period_s=float(p["period_s"]))
         tenancy = TenancyConfig(tenants=tenants, power_cap=power_cap)
+    cancel = None
+    if spec.get("cancel") is not None:
+        c = spec["cancel"]
+        deadline = None
+        if c.get("deadline") is not None:
+            deadline = DeadlineConfig(
+                slack_s=float(c["deadline"]["slack_s"]))
+        retry_budget = None
+        if c.get("retry_budget") is not None:
+            rb = c["retry_budget"]
+            retry_budget = RetryBudgetConfig(
+                ratio=float(rb["ratio"]),
+                window_s=float(rb["window_s"]),
+                floor=int(rb["floor"]))
+        cancel = CancelConfig(deadline=deadline,
+                              retry_budget=retry_budget)
     return ClusterConfig(
         n_servers=int(spec["n_servers"]),
         drain_s=float(spec["drain_s"]),
-        reliability=reliability, guard=guard, ha=ha, tenancy=tenancy)
+        reliability=reliability, guard=guard, ha=ha, tenancy=tenancy,
+        cancel=cancel)
 
 
 def _canon(value):
@@ -473,13 +515,27 @@ def _shrink_params(spec, mutate, target, budget) -> Dict[str, object]:
 def _shrink_config(spec, mutate, target, budget) -> Dict[str, object]:
     """Drop whole optional sections that are not needed to reproduce."""
     current = dict(spec)
-    for section in ("burst", "tenancy"):
+    for section in ("burst", "tenancy", "cancel"):
         if current.get(section) is None:
             continue
         candidate = dict(current)
         candidate[section] = None
         if _reproduces(candidate, mutate, target, budget):
             current = candidate
+    cancel = current.get("cancel")
+    if cancel is not None:
+        for sub in ("deadline", "retry_budget"):
+            if cancel.get(sub) is None:
+                continue
+            other = "retry_budget" if sub == "deadline" else "deadline"
+            if cancel.get(other) is None:
+                continue  # dropping both == the section drop above
+            candidate = dict(current)
+            candidate["cancel"] = dict(cancel)
+            candidate["cancel"][sub] = None
+            if _reproduces(candidate, mutate, target, budget):
+                current = candidate
+                cancel = current["cancel"]
     if (current.get("guard") is not None
             and current["guard"].get("admission") is not None):
         candidate = dict(current)

@@ -99,6 +99,9 @@ class NullVerifier:
     def on_tenant_admit(self, benchmark: str, tenant, action: str) -> None:
         pass
 
+    def on_job_complete(self, job) -> None:
+        pass
+
     def arm(self, cluster) -> None:
         pass
 
@@ -245,6 +248,20 @@ class Verifier:
                         tenant=tenant.name, benchmark=benchmark,
                         action=action)
 
+    def on_job_complete(self, job) -> None:
+        """Job hook: cancelled work must never run to completion.
+
+        The cancel layer removes a cancelled job from its pool; if one
+        still reaches ``complete()``, the kill leaked and the energy the
+        layer claims to reclaim is still being burned.
+        """
+        if getattr(job, "cancelled", False):
+            self.record("cancel-lifecycle",
+                        f"job {job.job_id} ({job.function_name}) ran to"
+                        f" completion after being cancelled",
+                        job=job.job_id, function=job.function_name,
+                        attempt=job.attempt)
+
     # ------------------------------------------------------------------
     # The periodic sweep (pure reads of cluster state)
     # ------------------------------------------------------------------
@@ -256,6 +273,7 @@ class Verifier:
         self._check_breaker_states(cluster)
         self._check_ha(cluster, state)
         self._check_tenancy(cluster, state)
+        self._check_cancel(cluster)
 
     def _check_kernel_counts(self, cluster) -> None:
         if cluster.inflight < 0:
@@ -406,6 +424,40 @@ class Verifier:
                             f" {lifetime:.9f} J]",
                             tenant=tenant.name, used_j=used,
                             lifetime_j=lifetime)
+
+    def _check_cancel(self, cluster) -> None:
+        cancel = getattr(cluster, "cancel", None)
+        if cancel is None:
+            return
+        metrics = cluster.metrics
+        budget = cancel.budget
+        if budget is not None:
+            pool = budget.pool
+            total = pool.available + pool.spent + pool.refunded
+            if total != pool.capacity or pool.available < 0 \
+                    or pool.spent < 0 or pool.refunded < 0:
+                self.record("retry-budget",
+                            f"retry-token pool does not conserve:"
+                            f" available {pool.available} + spent"
+                            f" {pool.spent} + refunded {pool.refunded}"
+                            f" != capacity {pool.capacity}",
+                            available=pool.available, spent=pool.spent,
+                            refunded=pool.refunded,
+                            capacity=pool.capacity)
+            if metrics.retries > budget.granted_total:
+                self.record("retry-budget",
+                            f"frontend performed {metrics.retries}"
+                            f" retries but the budget only granted"
+                            f" {budget.granted_total}",
+                            retries=metrics.retries,
+                            granted=budget.granted_total)
+        if metrics.doomed_workflows > metrics.failed_workflows:
+            self.record("cancel-lifecycle",
+                        f"{metrics.doomed_workflows} doomed workflows"
+                        f" exceed the {metrics.failed_workflows} failed"
+                        f" ones they are a sub-count of",
+                        doomed=metrics.doomed_workflows,
+                        failed=metrics.failed_workflows)
 
     # ------------------------------------------------------------------
     # End-of-run checks

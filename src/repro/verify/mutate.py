@@ -21,6 +21,10 @@ major invariant family:
 * ``breaker-jump`` — ``CircuitBreaker.allow`` jumps an OPEN breaker
   straight back to CLOSED once the cooldown elapses, skipping the
   half-open probe. Falsifies ``breaker-transition``.
+* ``cancel-leak`` — ``CorePoolScheduler.cancel_job`` flags the job
+  cancelled but never removes it from the pool, so "killed" work keeps
+  executing and runs to completion. Falsifies ``cancel-lifecycle``
+  (cancelled work must never complete).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from contextlib import contextmanager
 from repro.guard import breaker as _breaker_mod
 from repro.ha import journal as _journal_mod
 from repro.obs import ledger as _ledger_mod
+from repro.platform import scheduler as _scheduler_mod
 
 #: Public mutation names (the ``--mutate`` vocabulary), mapped to the
 #: invariant family each one falsifies.
@@ -37,6 +42,7 @@ MUTATIONS = {
     "journal-fence": "ha-journal-crosscheck",
     "ledger-bucket": "energy-conservation",
     "breaker-jump": "breaker-transition",
+    "cancel-leak": "cancel-lifecycle",
 }
 
 
@@ -80,10 +86,29 @@ def _plant_breaker_jump():
     return ("allow", original)
 
 
+def _plant_cancel_leak():
+    original = _scheduler_mod.CorePoolScheduler.cancel_job
+
+    def cancel_job(self, job):
+        if job.finished or job.aborted or job.cancelled:
+            return False
+        found = (any(queued is job for _, queued in self._ready)
+                 or any(r is job for r in self._running.values())
+                 or job.job_id in self._blocked_jobs)
+        if not found:
+            return False
+        job.cancelled = True  # bug: flagged but left running in the pool
+        return True
+
+    _scheduler_mod.CorePoolScheduler.cancel_job = cancel_job
+    return ("cancel_job", original)
+
+
 _PLANTERS = {
     "journal-fence": (_journal_mod.RedispatchJournal, _plant_journal_fence),
     "ledger-bucket": (_ledger_mod.EnergyLedger, _plant_ledger_bucket),
     "breaker-jump": (_breaker_mod.CircuitBreaker, _plant_breaker_jump),
+    "cancel-leak": (_scheduler_mod.CorePoolScheduler, _plant_cancel_leak),
 }
 
 

@@ -159,16 +159,19 @@ def test_conservation_violation_raises():
 
 
 class FakeJob:
-    def __init__(self, aborted=False, abandoned=False, is_prewarm=False):
+    def __init__(self, aborted=False, abandoned=False, is_prewarm=False,
+                 cancelled=False):
         self.aborted = aborted
         self.abandoned = abandoned
         self.is_prewarm = is_prewarm
+        self.cancelled = cancelled
 
 
-def classify(raw, job=None, uid=None, shed_uids=frozenset()):
+def classify(raw, job=None, uid=None, shed_uids=frozenset(),
+             doomed_uids=frozenset()):
     entry = LedgerEntry(run=0, t0=0.0, t1=1.0, joules=1.0, raw=raw,
                         uid=uid, job=job)
-    return EnergyLedger._classify(entry, shed_uids)
+    return EnergyLedger._classify(entry, shed_uids, doomed_uids)
 
 
 def test_classification_precedence():
@@ -188,6 +191,15 @@ def test_classification_precedence():
                     shed_uids={7}) == "shed"
     assert classify("active_run", job=FakeJob(), uid=8,
                     shed_uids={7}) == "run"
+    # Cancelled beats everything but the direct raws (repro.cancel).
+    assert classify("active_setup", job=FakeJob(cancelled=True)) == \
+        "cancelled"
+    assert classify("active_run",
+                    job=FakeJob(cancelled=True, abandoned=True)) == \
+        "cancelled"
+    # Doomed workflows beat shed; completed doomed work is its own bucket.
+    assert classify("active_run", job=FakeJob(), uid=9,
+                    shed_uids={9}, doomed_uids={9}) == "doomed"
 
 
 def test_ledger_summary_is_json_serializable(tmp_path):

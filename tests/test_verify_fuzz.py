@@ -2,6 +2,7 @@
 shrunk, saved as artifacts, and replay byte-identically."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -35,7 +36,7 @@ class TestMutationsAreFound:
     # (mutation, known-violating trial at seed 7) — kept in sync with
     # the CI fuzz-smoke step's seed.
     CASES = [("ledger-bucket", 0), ("breaker-jump", 0),
-             ("journal-fence", 1)]
+             ("journal-fence", 1), ("cancel-leak", 0)]
 
     @pytest.mark.parametrize("mutate,trial", CASES)
     def test_planted_bug_trips_its_invariant(self, mutate, trial):
@@ -69,6 +70,37 @@ class TestShrinkAndReplay:
         assert replayed["match"], (
             "replaying the stored artifact diverged from its recorded"
             " violations/fingerprint")
+
+
+class TestCorpus:
+    """The seeded corpus/ of previously-shrunk artifacts must keep
+    replaying byte-for-byte (ROADMAP item 6); see corpus/README.md."""
+
+    CORPUS = pathlib.Path(__file__).resolve().parent.parent / "corpus"
+
+    def corpus_paths(self):
+        return sorted(self.CORPUS.glob("*.json"))
+
+    def test_corpus_is_seeded(self):
+        paths = self.corpus_paths()
+        assert len(paths) >= 4, (
+            "corpus/ must hold at least one shrunk artifact per planted"
+            " mutation")
+        from repro.verify.mutate import MUTATIONS
+        stems = "\n".join(p.stem for p in paths)
+        for mutation in MUTATIONS:
+            assert mutation in stems, f"no corpus artifact for {mutation}"
+
+    def test_every_artifact_replays_byte_identically(self):
+        for path in self.corpus_paths():
+            outcome = fuzz.replay(str(path))
+            assert outcome["match"], (
+                f"{path.name}: replay diverged from the stored"
+                f" violations/fingerprint\n stored: {outcome['stored']}\n"
+                f" replayed: {outcome['replayed']}")
+            assert outcome["violations"], (
+                f"{path.name}: corpus artifacts must reproduce a"
+                " violation")
 
 
 class TestCampaign:

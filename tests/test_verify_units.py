@@ -118,11 +118,12 @@ class TestVerifierHooks:
 
 
 class TestMutations:
-    def test_catalog_names_three_layers(self):
+    def test_catalog_names_four_layers(self):
         assert MUTATIONS == {
             "journal-fence": "ha-journal-crosscheck",
             "ledger-bucket": "energy-conservation",
-            "breaker-jump": "breaker-transition"}
+            "breaker-jump": "breaker-transition",
+            "cancel-leak": "cancel-lifecycle"}
 
     def test_unknown_mutation_rejected(self):
         with pytest.raises(ValueError, match="unknown mutation"):
@@ -133,18 +134,20 @@ class TestMutations:
         from repro.guard.breaker import CircuitBreaker
         from repro.ha.journal import RedispatchJournal
         from repro.obs.ledger import EnergyLedger
-        originals = (RedispatchJournal.record_redispatch,
-                     EnergyLedger.record_core, CircuitBreaker.allow)
+        from repro.platform.scheduler import CorePoolScheduler
+
+        def snapshot():
+            return (RedispatchJournal.record_redispatch,
+                    EnergyLedger.record_core, CircuitBreaker.allow,
+                    CorePoolScheduler.cancel_job)
+
+        originals = snapshot()
         for name in MUTATIONS:
             with pytest.raises(RuntimeError):
                 with planted(name):
-                    assert (RedispatchJournal.record_redispatch,
-                            EnergyLedger.record_core,
-                            CircuitBreaker.allow) != originals
+                    assert snapshot() != originals
                     raise RuntimeError("unwind")
-            assert (RedispatchJournal.record_redispatch,
-                    EnergyLedger.record_core,
-                    CircuitBreaker.allow) == originals
+            assert snapshot() == originals
 
     def test_journal_fence_bug_drops_the_write(self):
         from repro.ha.journal import RedispatchJournal
