@@ -14,6 +14,9 @@ Usage::
     python -m repro bench --quick --compare BENCH_old.json
     python -m repro bench --history .
     python -m repro profile --scale 1,3,10 --quick
+    python -m repro fig16 --trace out.json --fingerprints fp.json
+    python -m repro diff fp_a.json fp_b.json
+    python -m repro diff fp.json --run-a 0 --run-b 1
 """
 
 from __future__ import annotations
@@ -114,10 +117,11 @@ def _report(argv: List[str]) -> int:
     from repro import obs
     try:
         text = obs.report(args.trace, top_n=args.top, fmt=args.format)
-    except FileNotFoundError:
-        print(f"no such trace file: {args.trace}", file=sys.stderr)
+    except OSError as error:
+        print(f"cannot read trace file {args.trace}:"
+              f" {error.strerror or error}", file=sys.stderr)
         return 2
-    except (ValueError, KeyError) as error:
+    except (ValueError, KeyError, TypeError) as error:
         print(f"not a trace-event JSON file: {args.trace} ({error})",
               file=sys.stderr)
         return 2
@@ -150,6 +154,11 @@ def _bench(argv: List[str]) -> int:
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the kernel self-profiler section"
                              " (events/s, hotspots) in each entry")
+    parser.add_argument("--fingerprints", action="store_true",
+                        help="record progressive fingerprint chains per"
+                             " experiment so --compare can point a"
+                             " sim-metric drift at its first diverging"
+                             " epoch and subsystem")
     parser.add_argument("--history", nargs="?", const=".", default=None,
                         metavar="DIR",
                         help="don't run the panel; print the wall-time /"
@@ -170,7 +179,8 @@ def _bench(argv: List[str]) -> int:
     document = bench_mod.run_bench(
         quick=args.quick,
         progress=lambda message: print(message, file=sys.stderr),
-        profile=not args.no_profile)
+        profile=not args.no_profile,
+        fingerprints=args.fingerprints)
     path = args.out or bench_mod.default_path(document)
     bench_mod.write_bench(document, path)
     print(f"[bench: {len(document['experiments'])} experiments -> {path}]")
@@ -335,8 +345,9 @@ def _bill(argv: List[str]) -> int:
         with open(args.ledger) as handle:
             document = json.load(handle)
         runs = document["runs"]
-    except FileNotFoundError:
-        print(f"no such ledger file: {args.ledger}", file=sys.stderr)
+    except OSError as error:
+        print(f"cannot read ledger file {args.ledger}:"
+              f" {error.strerror or error}", file=sys.stderr)
         return 2
     except (ValueError, KeyError, TypeError) as error:
         print(f"not an energy-ledger JSON file: {args.ledger} ({error})",
@@ -404,10 +415,12 @@ def _explain(argv: List[str]) -> int:
     )
     try:
         data = load_explain_data(args.trace, audit_path=args.audit)
-    except FileNotFoundError as error:
-        print(f"no such file: {error.filename or error}", file=sys.stderr)
+    except OSError as error:
+        print(f"cannot read file"
+              f" {error.filename or args.trace}:"
+              f" {error.strerror or error}", file=sys.stderr)
         return 2
-    except (ValueError, KeyError) as error:
+    except (ValueError, KeyError, TypeError) as error:
         print(f"not a trace-event JSON file: {args.trace} ({error})",
               file=sys.stderr)
         return 2
@@ -427,6 +440,55 @@ def _explain(argv: List[str]) -> int:
     result["causes"] = result["causes"][:args.top]
     print(format_explanation(result))
     return 0
+
+
+def _diff(argv: List[str]) -> int:
+    """The ``repro diff`` subcommand: first-divergence attribution."""
+    parser = argparse.ArgumentParser(
+        prog="ecofaas diff",
+        description="Compare two fingerprinted runs (--fingerprints"
+                    " artifacts): bisect the per-epoch chain digests to"
+                    " the first diverging epoch and subsystem, name the"
+                    " first diverging audit decision inside it, and"
+                    " attribute the downstream energy / EWT / SLO"
+                    " deltas. Exit 0 when identical, 1 when diverged.")
+    parser.add_argument("a", help="fingerprints JSON file (A side)")
+    parser.add_argument("b", nargs="?", default=None,
+                        help="fingerprints JSON file (B side); omitted ="
+                             " diff two runs inside A (e.g. the arms of"
+                             " an A/B experiment)")
+    parser.add_argument("--run-a", type=int, default=None, metavar="I",
+                        help="run index on the A side (default: align"
+                             " runs pairwise)")
+    parser.add_argument("--run-b", type=int, default=None, metavar="J",
+                        help="run index on the B side (default: --run-a)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the structured report to PATH"
+                             " ('-' prints JSON instead of text)")
+    args = parser.parse_args(argv)
+    from repro.obs import diff as diff_mod
+    try:
+        result = diff_mod.diff_documents(args.a, args.b,
+                                         run_a=args.run_a,
+                                         run_b=args.run_b)
+    except OSError as error:
+        print(f"cannot read fingerprints file"
+              f" {error.filename or args.a}:"
+              f" {error.strerror or error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"not a fingerprints document: {error}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        print(json.dumps(result, indent=1, sort_keys=True))
+    else:
+        print(diff_mod.format_diff(result), end="")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"[diff report -> {args.json}]")
+    return 0 if result["identical"] else 1
 
 
 def _fuzz(argv: List[str]) -> int:
@@ -497,6 +559,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bill(argv[1:])
     if argv and argv[0] == "profile":
         return _profile(argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ecofaas",
         description="EcoFaaS reproduction: regenerate the paper's tables"
@@ -504,7 +568,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'list', 'all', 'report',"
-             " 'explain', 'bill', 'bench', or 'profile'")
+             " 'explain', 'bill', 'bench', 'profile', or 'diff'")
     parser.add_argument(
         "--full", action="store_true",
         help="run at closer-to-paper scale (much slower)")
@@ -551,6 +615,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              " retune, shed, brownout, breaker trip, failover,"
              " redispatch) as JSONL to PATH")
     parser.add_argument(
+        "--fingerprints", metavar="PATH",
+        help="write progressive per-epoch chain digests and a run"
+             " manifest to PATH for `repro diff` (requires --trace;"
+             " epoch length follows --epoch-s)")
+    parser.add_argument(
         "--burnrate", action="store_true",
         help="arm per-benchmark SLO burn-rate monitors: latency"
              " histograms plus fast/slow burn alert instants in the"
@@ -568,6 +637,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--ledger requires --trace")
     if args.burnrate and not args.trace:
         parser.error("--burnrate requires --trace")
+    if args.fingerprints and not args.trace:
+        parser.error("--fingerprints requires --trace")
 
     if args.experiment == "list":
         print("available experiments:")
@@ -586,7 +657,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro import obs
         tracer = obs.install(obs.Tracer(
             ledger=obs.EnergyLedger() if args.ledger else None,
-            burnrate=obs.BurnRateMonitor() if args.burnrate else None))
+            burnrate=obs.BurnRateMonitor() if args.burnrate else None,
+            fingerprint=(obs.FingerprintRecorder(epoch_s=args.epoch_s)
+                         if args.fingerprints else None)))
     if args.audit:
         from repro import obs
         audit = obs.install_audit(obs.AuditLog())
@@ -688,6 +761,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[ledger: {len(document['runs'])} runs"
                   f" -> {args.ledger}; conservation"
                   f" {'OK' if conserved else 'FAILED'}]")
+        if args.fingerprints:
+            artifacts = {key: value for key, value in (
+                ("trace", args.trace),
+                ("epoch_metrics", args.epoch_metrics),
+                ("ledger", args.ledger),
+                ("audit", args.audit)) if value}
+            config = {"experiment": args.experiment, "seed": args.seed,
+                      "full": bool(args.full), "ha": bool(args.ha),
+                      "tenancy": bool(args.tenancy),
+                      "power_cap": args.power_cap,
+                      "cancel": bool(args.cancel),
+                      "epoch_s": args.epoch_s}
+            manifest = {**config,
+                        "config_digest": obs.digest(config),
+                        "artifacts": artifacts}
+            document = tracer.fingerprint.write(args.fingerprints,
+                                                manifest)
+            print(f"[fingerprints: {len(document['runs'])} runs"
+                  f" -> {args.fingerprints}]")
         print(obs.run_summary(tracer))
     if audit is not None:
         n_records = audit.write(args.audit)

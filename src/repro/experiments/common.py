@@ -128,17 +128,20 @@ def _trace_counter_sampler(env, cluster, tracer):
 def run_cluster(system, trace: Trace,
                 config: Optional[ClusterConfig] = None,
                 sample_period_s: Optional[float] = None,
-                fault_plan=None) -> Cluster:
+                fault_plan=None, label: Optional[str] = None) -> Cluster:
     """Run one trace on one system; returns the finalized cluster.
 
     ``sample_period_s`` arms periodic frequency-timeline sampling on every
     server (the Fig. 14 data source). ``fault_plan`` arms deterministic
     fault injection (``repro.faults``); None or an empty plan leaves the
     run untouched. When a tracer is installed (``repro.obs``), the run is
-    recorded as a new run scope named after the system.
+    recorded as a new run scope named after the system — or ``label``,
+    which experiment A/B arms pass so their fingerprints/manifests stay
+    distinguishable.
     """
     env = Environment()
-    label = getattr(system, "name", type(system).__name__)
+    if label is None:
+        label = getattr(system, "name", type(system).__name__)
     profiler = obs.active_profiler()
     if profiler is not None:
         # Self-profiling (repro.obs.prof): route the kernel's counter
@@ -186,6 +189,15 @@ def run_cluster(system, trace: Trace,
         if cluster.tenancy is not None:
             # Price the closed run into a per-tenant bill (repro.tenancy).
             cluster.tenancy.settle(tracer.ledger)
+    if tracer is not None and tracer.fingerprint is not None:
+        # Fold the run into per-epoch chain digests (repro.obs.fingerprint).
+        # After the ledger close, so the energy chains see classified
+        # entries; reads recorded state only.
+        entry = tracer.fingerprint.close_run(cluster, tracer, audit=audit)
+        if verifier is not None:
+            # Self-check: the verify layer recomputes the chains from the
+            # same recorded streams with its own inline hashing.
+            verifier.check_fingerprints(tracer.fingerprint, entry, cluster)
     return cluster
 
 

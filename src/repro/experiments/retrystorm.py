@@ -164,7 +164,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             obs.install(obs.Tracer(ledger=EnergyLedger()))
         try:
             cluster = run_cluster(EcoFaaSSystem(EcoFaaSConfig()), trace,
-                                  config, fault_plan=plan)
+                                  config, fault_plan=plan,
+                                  label=f"EcoFaaS/cancel-{arm}")
             tracer = obs.active_tracer()
             ledger = tracer.ledger if tracer is not None else None
             report = (ledger.reports[-1]

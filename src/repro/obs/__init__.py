@@ -36,6 +36,7 @@ from repro.obs.burnrate import (
     BurnRateMonitor,
     LogBucketHistogram,
 )
+from repro.obs.diff import diff_documents, format_diff
 from repro.obs.explain import explain, format_explanation, load_explain_data
 from repro.obs.export import (
     chrome_trace_events,
@@ -44,6 +45,13 @@ from repro.obs.export import (
     run_summary,
     write_chrome_trace,
     write_epoch_metrics,
+)
+from repro.obs.fingerprint import (
+    FingerprintRecorder,
+    canon,
+    canonical_json,
+    cluster_fingerprint,
+    digest,
 )
 from repro.obs.ledger import EnergyConservationError, EnergyLedger
 from repro.obs.prof import (
@@ -84,6 +92,7 @@ __all__ = [
     "CounterRecord",
     "EnergyConservationError",
     "EnergyLedger",
+    "FingerprintRecorder",
     "InstantRecord",
     "LogBucketHistogram",
     "NullProfiler",
@@ -94,9 +103,15 @@ __all__ = [
     "active_audit",
     "active_profiler",
     "active_tracer",
+    "canon",
+    "canonical_json",
     "chrome_trace_events",
+    "cluster_fingerprint",
+    "diff_documents",
+    "digest",
     "epoch_rows",
     "explain",
+    "format_diff",
     "format_explanation",
     "install",
     "install_audit",

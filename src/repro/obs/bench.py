@@ -135,14 +135,23 @@ def _profile_section(profiler: prof_mod.Profiler, wall_s: float,
 
 def run_bench(quick: bool = True,
               progress: Optional[Callable[[str], None]] = None,
-              profile: bool = True) -> Dict[str, Any]:
+              profile: bool = True,
+              fingerprints: bool = False) -> Dict[str, Any]:
     """Run the panel and return the BENCH document.
 
     ``profile`` arms the kernel self-profiler around each experiment and
     adds its events/sec, wall-conservation, and top components to the
     entry; it reads only the host wall-clock, so the simulated metrics
     are identical either way.
+
+    ``fingerprints`` additionally arms a tracer with a progressive
+    fingerprint recorder per experiment and stores each entry's chain
+    digests, letting ``--compare`` point at the first diverging epoch
+    and subsystem when a simulated metric drifts. Off by default: the
+    tracer costs wall-time, so fingerprinted panels should only be
+    wall-compared against other fingerprinted panels.
     """
+    import repro.obs as obs
     experiments: Dict[str, Any] = {}
     # ru_maxrss is a process-lifetime *high-water mark*, not current
     # usage: it can only ever rise. rss_grew_kb is therefore the growth
@@ -154,6 +163,8 @@ def run_bench(quick: bool = True,
         if progress is not None:
             progress(f"bench: running {name} ...")
         profiler = prof_mod.install(prof_mod.Profiler()) if profile else None
+        tracer = obs.install(obs.Tracer(
+            fingerprint=obs.FingerprintRecorder())) if fingerprints else None
         t0 = time.perf_counter()
         try:
             if profiler is not None:
@@ -164,8 +175,15 @@ def run_bench(quick: bool = True,
         finally:
             if profiler is not None:
                 prof_mod.uninstall()
+            if tracer is not None:
+                obs.uninstall()
         wall = time.perf_counter() - t0
         entry = _measure(cluster)
+        if tracer is not None and tracer.fingerprint.entries:
+            last = tracer.fingerprint.entries[-1]
+            entry["fingerprint"] = {"final": last["final"],
+                                    "n_epochs": last["n_epochs"],
+                                    "chains": last["chains"]}
         entry["panel_index"] = index
         entry["wall_s"] = round(wall, 3)
         rss = _peak_rss_kb()
@@ -235,16 +253,50 @@ def compare(old: Dict[str, Any], new: Dict[str, Any],
                 f"{name}: wall-time regression"
                 f" {wall_before:.2f}s -> {wall_after:.2f}s"
                 f" (+{100.0 * (wall_after / max(wall_before, 1e-9) - 1):.0f}%)")
+        drifted = False
         for key in SIM_METRICS:
             a, b = before.get(key), after.get(key)
             if a is None and b is None:
                 continue
             if a is None or b is None or (
                     abs(a - b) > 1e-9 * max(abs(a), abs(b), 1.0)):
+                drifted = True
                 findings.append(
                     f"{name}: simulated metric {key} drifted"
                     f" {a} -> {b} (same-seed run; behavior changed)")
+        if drifted:
+            finding = _first_divergence_finding(name, before, after)
+            if finding is not None:
+                findings.append(finding)
     return findings
+
+
+def _first_divergence_finding(name: str, before: Dict[str, Any],
+                              after: Dict[str, Any]) -> Optional[str]:
+    """Point a sim-metric drift at its first diverging epoch/subsystem.
+
+    Available when both panels ran with ``--fingerprints``; chains are
+    bisected exactly as ``repro diff`` does.
+    """
+    from repro.obs.diff import PRIORITY, first_mismatch
+    chains_a = (before.get("fingerprint") or {}).get("chains")
+    chains_b = (after.get("fingerprint") or {}).get("chains")
+    if not chains_a or not chains_b:
+        return None
+    diverged = []
+    for sub in set(chains_a) & set(chains_b):
+        epoch = first_mismatch(chains_a[sub], chains_b[sub])
+        if epoch is not None:
+            diverged.append((sub, epoch))
+    if not diverged:
+        return (f"{name}: fingerprint chains agree despite the drift"
+                f" (divergence is outside the chained subsystems)")
+    rank = {sub: i for i, sub in enumerate(PRIORITY)}
+    sub, epoch = min(diverged,
+                     key=lambda d: (d[1], rank.get(d[0], len(rank))))
+    return (f"{name}: first divergence at epoch {epoch} in subsystem"
+            f" '{sub}' (re-run with --trace --fingerprints and"
+            f" `repro diff` for the decision-level delta)")
 
 
 # ---------------------------------------------------------------------------

@@ -90,6 +90,11 @@ class NullTracer:
     ledger = None
     #: Optional SLO burn-rate monitor (``repro.obs.burnrate``).
     burnrate = None
+    #: Optional progressive-fingerprint recorder
+    #: (``repro.obs.fingerprint``). Like the ledger and burn-rate
+    #: monitor it only reads recorded state after a run finishes, so
+    #: attaching one keeps runs bit-identical.
+    fingerprint = None
 
     def bind(self, env) -> None:
         pass
@@ -140,17 +145,18 @@ class Tracer(NullTracer):
     enabled = True
 
     def __init__(self, counter_period_s: float = 0.5, ledger=None,
-                 burnrate=None):
+                 burnrate=None, fingerprint=None):
         if counter_period_s <= 0:
             raise ValueError(
                 f"counter period must be positive: {counter_period_s}")
         #: Period of the read-only counter sampler armed by traced runs.
         self.counter_period_s = counter_period_s
-        #: Attached energy ledger / burn-rate monitor (both opt-in; both
-        #: only *read* simulation state, so attaching them keeps runs
-        #: bit-identical).
+        #: Attached energy ledger / burn-rate monitor / progressive
+        #: fingerprint recorder (all opt-in; all only *read* simulation
+        #: state, so attaching them keeps runs bit-identical).
         self.ledger = ledger
         self.burnrate = burnrate
+        self.fingerprint = fingerprint
         if ledger is not None:
             ledger.attach(self)
         #: Labels of the runs seen so far, in order.

@@ -25,8 +25,6 @@ schedule space, and artifacts replay bit-identically.
 from __future__ import annotations
 
 import contextlib
-import dataclasses
-import hashlib
 import json
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -46,6 +44,7 @@ from repro.experiments.common import run_cluster
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.guard.config import AdmissionConfig, BreakerConfig, GuardConfig
 from repro.ha.config import HAConfig
+from repro.obs.fingerprint import cluster_fingerprint
 from repro.obs.ledger import EnergyConservationError, EnergyLedger
 from repro.obs.tracer import Tracer
 from repro.platform.cluster import ClusterConfig
@@ -352,44 +351,6 @@ def _build_config(spec: Dict[str, object]) -> ClusterConfig:
         cancel=cancel)
 
 
-def _canon(value):
-    """JSON-stable full-precision form (tests/fingerprints.py twin)."""
-    if isinstance(value, (bool, np.bool_)):
-        return bool(value)
-    if isinstance(value, (float, np.floating)):
-        return repr(float(value))
-    if isinstance(value, (int, np.integer)):
-        return int(value)
-    if isinstance(value, dict):
-        return {repr(k) if isinstance(k, float) else str(k): _canon(v)
-                for k, v in sorted(value.items(),
-                                   key=lambda kv: str(kv[0]))}
-    if isinstance(value, (list, tuple)):
-        return [_canon(v) for v in value]
-    if dataclasses.is_dataclass(value):
-        return {f.name: _canon(getattr(value, f.name))
-                for f in dataclasses.fields(value)}
-    return value
-
-
-def _fingerprint(cluster) -> str:
-    m = cluster.metrics
-    payload = _canon({
-        "functions": m.function_records,
-        "workflows": m.workflow_records,
-        "retries": m.retries,
-        "hedges": m.hedges,
-        "timeouts": m.timeouts,
-        "failures": m.failures,
-        "lost": m.lost_invocations,
-        "failed_workflows": m.failed_workflows,
-        "retry_energy_j": m.retry_energy_j,
-        "energy": [s.meter.total_j for s in cluster.servers],
-    })
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()
-
-
 def run_trial(spec: Dict[str, object],
               mutate: Optional[str] = None) -> Dict[str, object]:
     """Execute one spec with all monitors armed; returns the outcome.
@@ -412,7 +373,7 @@ def run_trial(spec: Dict[str, object],
         with context:
             cluster = run_cluster(_build_system(spec), trace, config,
                                   fault_plan=plan)
-            fingerprint = _fingerprint(cluster)
+            fingerprint = cluster_fingerprint(cluster)
     except EnergyConservationError as exc:
         violations.append({
             "invariant": "energy-conservation", "time_s": -1.0,

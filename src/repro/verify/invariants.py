@@ -108,6 +108,9 @@ class NullVerifier:
     def close_run(self, cluster) -> None:
         pass
 
+    def check_fingerprints(self, recorder, entry, cluster) -> None:
+        pass
+
 
 #: The shared null verifier (one instance; it holds no state).
 NULL_VERIFIER = NullVerifier()
@@ -497,3 +500,43 @@ class Verifier:
                             f"election log epochs are not strictly"
                             f" increasing: {epochs}",
                             epochs=tuple(epochs))
+
+    def check_fingerprints(self, recorder, entry, cluster) -> None:
+        """Recompute the run's progressive chain digests as a self-check.
+
+        The fold is re-derived here with inline hashing (genesis link and
+        chain step spelled out rather than imported) over the canonical
+        epoch payloads the recorder retained, so a bug in the recorder's
+        chain arithmetic — or a chain mutated after the fact — cannot
+        agree with this recomputation by construction. The run's final
+        whole-cluster fingerprint is cross-checked too.
+        """
+        import hashlib  # stdlib; keeps the module import-free at top level
+        payloads = recorder.payloads.get(entry["run"], {})
+        for subsystem, chain in sorted(entry["chains"].items()):
+            link = hashlib.sha256(
+                f"repro.obs.fingerprint/1/{subsystem}".encode()).hexdigest()
+            recomputed = []
+            for payload in payloads.get(subsystem, []):
+                link = hashlib.sha256(
+                    (link + "\n" + payload).encode()).hexdigest()
+                recomputed.append(link)
+            if recomputed != list(chain):
+                first = next((i for i, (a, b) in enumerate(
+                    zip(recomputed, chain)) if a != b),
+                    min(len(recomputed), len(chain)))
+                self.record("fingerprint-chain",
+                            f"{subsystem} chain does not match its"
+                            f" recomputation (first mismatch at epoch"
+                            f" {first}; {len(chain)} recorded vs"
+                            f" {len(recomputed)} recomputed links)",
+                            subsystem=subsystem, epoch=first,
+                            recorded=len(chain),
+                            recomputed=len(recomputed))
+        from repro.obs.fingerprint import cluster_fingerprint  # lazy: no cycle
+        final = cluster_fingerprint(cluster)
+        if final != entry["final"]:
+            self.record("fingerprint-chain",
+                        f"final fingerprint {entry['final'][:12]}… does"
+                        f" not match the cluster's {final[:12]}…",
+                        recorded=entry["final"], recomputed=final)

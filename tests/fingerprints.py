@@ -15,52 +15,16 @@ Regenerate (only when a PR *intentionally* changes baseline behaviour)::
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 import os
 
+from repro.obs.fingerprint import cluster_fingerprint  # noqa: F401
+# Re-exported: the digest lives in repro.obs.fingerprint (shared with
+# the fuzzer and the progressive-fingerprint recorder); this module
+# keeps the reference-run definitions and the stored-seed plumbing.
+
 DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
                          "seed_fingerprint.json")
-
-
-def _canon(value):
-    """A JSON-stable, full-precision form of any metrics value."""
-    import numpy as np
-    if isinstance(value, (bool, np.bool_)):
-        return bool(value)
-    if isinstance(value, (float, np.floating)):
-        return repr(float(value))
-    if isinstance(value, (int, np.integer)):
-        return int(value)
-    if isinstance(value, dict):
-        return {repr(k) if isinstance(k, float) else str(k): _canon(v)
-                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
-    if isinstance(value, (list, tuple)):
-        return [_canon(v) for v in value]
-    if dataclasses.is_dataclass(value):
-        return {f.name: _canon(getattr(value, f.name))
-                for f in dataclasses.fields(value)}
-    return value
-
-
-def cluster_fingerprint(cluster) -> str:
-    """SHA-256 over every observable outcome of one finalized cluster."""
-    m = cluster.metrics
-    payload = _canon({
-        "functions": m.function_records,
-        "workflows": m.workflow_records,
-        "retries": m.retries,
-        "hedges": m.hedges,
-        "timeouts": m.timeouts,
-        "failures": m.failures,
-        "lost": m.lost_invocations,
-        "failed_workflows": m.failed_workflows,
-        "retry_energy_j": m.retry_energy_j,
-        "energy": [s.meter.total_j for s in cluster.servers],
-    })
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()
 
 
 def reference_runs():

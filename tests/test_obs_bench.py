@@ -68,6 +68,47 @@ def test_compare_flags_injected_sim_regression(tiny_bench):
     assert "behavior changed" in findings[0]
 
 
+def test_run_bench_fingerprints_attaches_chains(tiny_bench):
+    import repro.obs as obs
+    document = bench.run_bench(quick=True, profile=False,
+                               fingerprints=True)
+    entry = document["experiments"]["tiny_low"]
+    section = entry["fingerprint"]
+    assert set(section) == {"final", "n_epochs", "chains"}
+    for chain in section["chains"].values():
+        assert len(chain) == section["n_epochs"]
+    assert {"metrics", "instants"} <= set(section["chains"])
+    assert obs.active_tracer() is None  # uninstalled after the panel
+
+
+def test_run_bench_fingerprints_off_adds_nothing(tiny_bench):
+    document = bench.run_bench(quick=True, profile=False)
+    assert "fingerprint" not in document["experiments"]["tiny_low"]
+
+
+def test_compare_points_drift_at_first_diverging_epoch(tiny_bench):
+    old = bench.run_bench(quick=True, profile=False, fingerprints=True)
+    new = copy.deepcopy(old)
+    entry = new["experiments"]["tiny_low"]
+    entry["energy_j"] *= 1.01
+    chains = entry["fingerprint"]["chains"]
+    for epoch in range(1, len(chains["metrics"])):
+        chains["metrics"][epoch] = "0" * 64
+    findings = bench.compare(old, new)
+    assert any("energy_j drifted" in f for f in findings)
+    assert any("first divergence at epoch 1 in subsystem 'metrics'" in f
+               for f in findings)
+
+
+def test_compare_drift_without_chains_has_no_divergence_pointer(
+        tiny_bench):
+    old = bench.run_bench(quick=True, profile=False)
+    new = copy.deepcopy(old)
+    new["experiments"]["tiny_low"]["energy_j"] *= 1.01
+    findings = bench.compare(old, new)
+    assert not any("first divergence" in f for f in findings)
+
+
 def test_compare_flags_wall_time_regression():
     old = {"quick": True, "experiments": {"x": {"wall_s": 2.0}}}
     new = {"quick": True, "experiments": {"x": {"wall_s": 3.5}}}
